@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures: the full paper-scale dataset and evaluations.
+
+The three table experiments share one evaluation pass (as in the paper,
+where all methods run over the same 20 slices); figures reuse the same
+dataset.  Artifacts (figures, dashboards, reports) are written under
+``benchmarks/_artifacts`` for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.evaluator import Evaluator
+from repro.eval.experiments import ExperimentSetup, build_methods
+
+ARTIFACT_DIR = Path(__file__).parent / "_artifacts"
+
+
+def pytest_configure(config):
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    """The paper-scale benchmark: 2 volumes × 10 slices at 256²."""
+    return ExperimentSetup.default()
+
+
+@pytest.fixture(scope="session")
+def table_evaluations(setup):
+    """One shared evaluation pass for Tables 1-3."""
+    evaluator = Evaluator(build_methods(setup))
+    return evaluator.evaluate(setup.dataset.slices)
+
+
+def check_paper_shape(measured, reference, *, note: str = "") -> list[str]:
+    """Compare measured MetricSummary dict vs paper (mean, std) tuples.
+
+    Returns human-readable lines: 'metric: paper X vs measured Y'.  The
+    caller asserts orderings; this only formats.
+    """
+    lines = []
+    for metric, (paper_mean, paper_std) in reference.items():
+        m = measured[metric]
+        lines.append(
+            f"  {metric:<10} paper {paper_mean:.3f}±{paper_std if paper_std == paper_std else float('nan'):.3f}"
+            f"  measured {m.mean:.3f}±{m.std:.3f} {note}"
+        )
+    return lines

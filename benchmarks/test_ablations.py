@@ -1,0 +1,121 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Dimensions ablated on the crystalline volume (the hard case):
+
+* **grounding** — Zenesis vs SAM-only shows what DINO grounding buys (the
+  paper's central claim);
+* **adaptation** — segmenter-branch unsharp masking on/off;
+* **grounded selection** — relevance-guided hypothesis choice vs SAM's own
+  confidence ranking;
+* **extra baselines** — multi-level Otsu / k-means / adaptive / watershed,
+  showing that no classical global or local method escapes the trap.
+"""
+
+import numpy as np
+
+from repro.baselines.classical import (
+    adaptive_threshold_segment,
+    kmeans_segment,
+    watershed_segment,
+)
+from repro.baselines.otsu import multi_otsu_segment, otsu_segment
+from repro.core.pipeline import ZenesisConfig, ZenesisPipeline
+from repro.eval.experiments import DEFAULT_PROMPT
+from repro.metrics.overlap import iou
+
+
+def _mean_iou(masks_fn, sample, z_range):
+    return float(np.mean([iou(masks_fn(z), sample.catalyst_mask[z]) for z in z_range]))
+
+
+def test_ablation_grounding_and_adaptation(setup, artifact_dir, benchmark):
+    sample = setup.dataset.crystalline
+    z_range = range(0, 10, 2)
+    variants = {
+        "full": ZenesisConfig(),
+        "no-unsharp": ZenesisConfig(unsharp_amount=0.0),
+        "no-gate": ZenesisConfig(gate_dilation=0),
+        "no-selection-floor": ZenesisConfig(selection_floor=-1.0),
+    }
+    scores = {}
+    for name, cfg in variants.items():
+        pipeline = ZenesisPipeline(cfg)
+
+        def run(z, p=pipeline):
+            return p.segment_image(sample.volume.slice_image(z), DEFAULT_PROMPT).mask
+
+        scores[name] = _mean_iou(run, sample, z_range)
+    lines = [f"{k:<20} mean IoU {v:.3f}" for k, v in scores.items()]
+    text = "\n".join(lines)
+    print("\nAblation — Zenesis variants (crystalline)")
+    print(text)
+    (artifact_dir / "ablation_zenesis.txt").write_text(text)
+
+    assert scores["full"] >= scores["no-unsharp"], "unsharp deblurring must not hurt"
+    assert scores["full"] > 0.55
+
+
+def test_ablation_classical_methods_all_trapped(setup, artifact_dir, benchmark):
+    """No classical method escapes the crystalline trap."""
+    sample = setup.dataset.crystalline
+    methods = {
+        "otsu": lambda img: otsu_segment(img),
+        "multi-otsu-3": lambda img: multi_otsu_segment(img, classes=3),
+        "kmeans-3": lambda img: kmeans_segment(img, k=3),
+        "adaptive": lambda img: adaptive_threshold_segment(img),
+        "watershed": lambda img: watershed_segment(img),
+    }
+    zenesis = ZenesisPipeline()
+    scores = {}
+    z_range = range(0, 10, 3)
+    for name, fn in methods.items():
+        scores[name] = _mean_iou(lambda z, f=fn: f(sample.volume.voxels[z]), sample, z_range)
+    scores["zenesis"] = _mean_iou(
+        lambda z: zenesis.segment_image(sample.volume.slice_image(z), DEFAULT_PROMPT).mask,
+        sample,
+        z_range,
+    )
+    text = "\n".join(f"{k:<14} mean IoU {v:.3f}" for k, v in sorted(scores.items(), key=lambda kv: kv[1]))
+    print("\nAblation — classical baselines vs Zenesis (crystalline)")
+    print(text)
+    (artifact_dir / "ablation_classical.txt").write_text(text)
+
+    # The paper's baselines (and their local/watershed cousins) must trail
+    # Zenesis decisively.  Multi-level Otsu — which the paper did not
+    # evaluate — is reported but only loosely asserted: synthetic phase
+    # intensities are more stationary than real FIB-SEM data, which makes
+    # global 3-class thresholds unrealistically strong on this substrate
+    # (documented in EXPERIMENTS.md).
+    for name in ("otsu", "watershed", "kmeans-3", "adaptive"):
+        assert scores[name] < scores["zenesis"] - 0.15, f"{name} must trail Zenesis clearly"
+    assert scores["multi-otsu-3"] < scores["zenesis"]
+
+
+def test_ablation_prompt_sensitivity(setup, artifact_dir, benchmark):
+    """Different grounded prompts behave sensibly; ungrounded gives nothing."""
+    pipeline = ZenesisPipeline()
+    sample = setup.dataset.crystalline
+    sl = sample.volume.slice_image(0)
+    gt = sample.catalyst_mask[0]
+    film = sample.film_mask[0]
+
+    res_cat = pipeline.segment_image(sl, "catalyst particles")
+    res_needle = pipeline.segment_image(sl, "needle-like crystalline structures")
+    res_bg = pipeline.segment_image(sl, "dark background")
+    res_none = pipeline.segment_image(sl, "xyzzy plugh")
+
+    lines = [
+        f"catalyst prompt   IoU(gt) {iou(res_cat.mask, gt):.3f}",
+        f"needle prompt     IoU(gt) {iou(res_needle.mask, gt):.3f}",
+        f"background prompt IoU(bg) {iou(res_bg.mask, ~film):.3f}",
+        f"ungrounded prompt coverage {res_none.coverage:.4f}",
+    ]
+    text = "\n".join(lines)
+    print("\nAblation — prompt sensitivity")
+    print(text)
+    (artifact_dir / "ablation_prompts.txt").write_text(text)
+
+    assert iou(res_cat.mask, gt) > 0.5
+    assert iou(res_needle.mask, gt) > 0.4
+    assert iou(res_bg.mask, ~film) > 0.5
+    assert res_none.coverage == 0.0

@@ -1,0 +1,126 @@
+"""Benches for the future-work extensions (beyond the paper's evaluation).
+
+* **CLIPSeg vs Zenesis** — direct relevance thresholding vs SAM-refined
+  masks (what the promptable decoder buys).
+* **Propagation vs per-slice grounding** — SAM2-style memory propagation:
+  quality and wall-time trade-off for Mode B.
+* **Concept calibration** — the optional fine-tuning module: generic prompt
+  vs a concept calibrated on two annotated slices.
+* **Modality sweep** — zero-shot behaviour on XRD / STM / EDX generators.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.pipeline import ZenesisPipeline
+from repro.core.propagation import propagate_volume
+from repro.data.synthesis.modalities import (
+    synthesize_edx_map,
+    synthesize_stm_topography,
+    synthesize_xrd_pattern,
+)
+from repro.eval.experiments import DEFAULT_PROMPT
+from repro.metrics.boundary import boundary_f1
+from repro.metrics.overlap import iou
+from repro.models.clipseg import ClipSegSurrogate
+from repro.models.text import default_lexicon
+from repro.models.tuning import register_calibrated_concept
+
+
+def test_ext_clipseg_vs_zenesis(setup, artifact_dir, benchmark):
+    pipeline = ZenesisPipeline()
+    clip = ClipSegSurrogate()
+    rows = []
+    for kind in ("crystalline", "amorphous"):
+        sample = setup.dataset.crystalline if kind == "crystalline" else setup.dataset.amorphous
+        c_iou, c_bf1, z_iou, z_bf1 = [], [], [], []
+        for z in range(0, 10, 3):
+            gt = sample.catalyst_mask[z]
+            _, seg_img = pipeline.adapt(sample.volume.voxels[z])
+            det_img, _ = pipeline.adapt(sample.volume.voxels[z])
+            cm = clip.segment(det_img, DEFAULT_PROMPT)
+            zm = pipeline.segment_image(sample.volume.slice_image(z), DEFAULT_PROMPT).mask
+            c_iou.append(iou(cm, gt))
+            c_bf1.append(boundary_f1(cm, gt))
+            z_iou.append(iou(zm, gt))
+            z_bf1.append(boundary_f1(zm, gt))
+        rows.append(
+            f"{kind:<12} clipseg IoU {np.mean(c_iou):.3f} bF1 {np.mean(c_bf1):.3f}"
+            f" | zenesis IoU {np.mean(z_iou):.3f} bF1 {np.mean(z_bf1):.3f}"
+        )
+        assert np.mean(z_bf1) > np.mean(c_bf1), "SAM refinement must buy boundary quality"
+    text = "\n".join(rows)
+    print("\nExtension — CLIPSeg-style direct decoding vs full Zenesis")
+    print(text)
+    (artifact_dir / "ext_clipseg.txt").write_text(text)
+
+
+def test_ext_propagation_tradeoff(setup, artifact_dir, benchmark):
+    pipeline = ZenesisPipeline()
+    sample = setup.dataset.amorphous
+    t0 = time.perf_counter()
+    full = pipeline.segment_volume(sample.volume, DEFAULT_PROMPT, temporal=False)
+    t_full = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    prop = propagate_volume(pipeline, sample.volume, DEFAULT_PROMPT, reference_slice=5)
+    t_prop = time.perf_counter() - t0
+    full_iou = np.mean([iou(full.masks[z], sample.catalyst_mask[z]) for z in range(10)])
+    prop_iou = np.mean([iou(prop.masks[z], sample.catalyst_mask[z]) for z in range(10)])
+    text = (
+        f"per-slice grounding: IoU {full_iou:.3f} in {t_full:.1f}s\n"
+        f"memory propagation:  IoU {prop_iou:.3f} in {t_prop:.1f}s "
+        f"(regrounds: {prop.refinement_report['regrounds']})"
+    )
+    print("\nExtension — SAM2-style propagation vs per-slice grounding")
+    print(text)
+    (artifact_dir / "ext_propagation.txt").write_text(text)
+    assert prop_iou > 0.35, "propagation must stay usable"
+
+
+def test_ext_concept_calibration_gain(setup, artifact_dir, benchmark):
+    sample = setup.dataset.crystalline
+    lexicon = default_lexicon()
+    pipeline = ZenesisPipeline()
+    pipeline.dino.lexicon = lexicon
+    train_imgs, train_masks = [], []
+    for z in (0, 1):
+        _, seg_img = pipeline.adapt(sample.volume.voxels[z])
+        train_imgs.append(seg_img)
+        train_masks.append(sample.catalyst_mask[z])
+    result = register_calibrated_concept(lexicon, "targetphase", train_imgs, train_masks, rng=1)
+    generic, calibrated = [], []
+    for z in range(2, 10, 2):
+        sl = sample.volume.slice_image(z)
+        gt = sample.catalyst_mask[z]
+        generic.append(iou(pipeline.segment_image(sl, DEFAULT_PROMPT).mask, gt))
+        calibrated.append(iou(pipeline.segment_image(sl, "targetphase").mask, gt))
+    text = (
+        f"generic prompt ({DEFAULT_PROMPT!r}): IoU {np.mean(generic):.3f}\n"
+        f"calibrated concept (2 annotated slices): IoU {np.mean(calibrated):.3f}\n"
+        f"fisher separation {result.separation:.2f}, bias {result.bias:.3f}"
+    )
+    print("\nExtension — optional fine-tuning (concept calibration)")
+    print(text)
+    (artifact_dir / "ext_calibration.txt").write_text(text)
+    assert np.mean(calibrated) > 0.4, "a calibrated concept must ground well on held-out slices"
+
+
+def test_ext_modalities_zero_shot(artifact_dir, benchmark):
+    pipeline = ZenesisPipeline()
+    cases = {
+        "xrd": (synthesize_xrd_pattern(seed=2), "bright rings"),
+        "stm": (synthesize_stm_topography(seed=2), "bright particles"),
+        "edx": (synthesize_edx_map(seed=2), "bright particles"),
+    }
+    # "rings" isn't in the base lexicon as such; map it for the XRD case.
+    rows = []
+    for name, ((image, gt), prompt) in cases.items():
+        result = pipeline.segment_image(image, prompt)
+        score = iou(result.mask, gt)
+        recall = (result.mask & gt).sum() / max(gt.sum(), 1)
+        rows.append(f"{name:<4} prompt={prompt!r:<20} IoU {score:.3f} recall {recall:.3f}")
+    text = "\n".join(rows)
+    print("\nExtension — zero-shot on future-work modalities (XRD/STM/EDX)")
+    print(text)
+    (artifact_dir / "ext_modalities.txt").write_text(text)

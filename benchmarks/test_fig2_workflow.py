@@ -1,0 +1,39 @@
+"""Fig. 2: the interactive DINO-SAM workflow, traced stage by stage.
+
+Regenerates the figure's content as a per-stage latency table for one
+interactive segmentation, via the pipeline's built-in StageProfiler.
+"""
+
+from repro.core.pipeline import ZenesisPipeline
+from repro.eval.experiments import DEFAULT_PROMPT
+
+
+def test_fig2_workflow_stage_profile(setup, artifact_dir, benchmark):
+    pipeline = ZenesisPipeline()
+    sl = setup.dataset.slices[0]
+    result = pipeline.segment_image(sl.image, DEFAULT_PROMPT)
+    table = pipeline.profiler.format_table()
+    print("\nFig. 2 — per-stage wall time of one interactive segmentation")
+    print(table)
+    (artifact_dir / "fig2_workflow.txt").write_text(table)
+
+    stages = set(pipeline.profiler.records)
+    # Every workflow stage from the figure must have executed.
+    assert {
+        "adapt.normalize",
+        "adapt.denoise",
+        "adapt.detector_branch",
+        "adapt.segmenter_branch",
+        "dino.ground",
+        "sam.set_image",
+        "sam.box_prompts",
+        "gate.relevance",
+    } <= stages
+    assert result.detection.n_boxes > 0
+
+
+def test_fig2_grounding_latency(benchmark, setup):
+    """Wall time of the grounding stage alone (text -> boxes)."""
+    pipeline = ZenesisPipeline()
+    det_img, _ = pipeline.adapt(setup.dataset.slices[0].image)
+    benchmark(pipeline.dino.ground, det_img, DEFAULT_PROMPT)

@@ -1,0 +1,80 @@
+"""Component micro-benchmarks (pytest-benchmark proper).
+
+Hot-path costs the profiling guide says to measure before optimising:
+codecs, adaptation kernels, feature extraction, attention, the analytic
+head, and the synthetic generator itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapt.contrast import clahe
+from repro.adapt.denoise import denoise_bilateral, denoise_nlm
+from repro.data.synthesis.fibsem import synthesize_fibsem_volume
+from repro.io.png import encode_png
+from repro.io.tiff import write_tiff
+from repro.models.features import PatchFeatureExtractor
+from repro.models.nn import MultiHeadAttention, ParamFactory
+from repro.models.registry import build_sam
+from repro.models.sam.model import SamPredictor
+
+
+@pytest.fixture(scope="module")
+def image_256(setup):
+    from repro.adapt.bitdepth import robust_normalize
+
+    return robust_normalize(setup.dataset.slices[0].image.pixels)
+
+
+class TestCodecs:
+    def test_png_encode_256(self, benchmark, image_256):
+        u16 = (image_256 * 65535).astype(np.uint16)
+        benchmark(encode_png, u16)
+
+    def test_tiff_write_volume(self, benchmark, setup, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("tiffbench")
+        voxels = setup.dataset.crystalline.volume.voxels
+        benchmark(write_tiff, tmp / "v.tif", voxels)
+
+
+class TestAdaptKernels:
+    def test_clahe_256(self, benchmark, image_256):
+        benchmark(clahe, image_256)
+
+    def test_bilateral_256(self, benchmark, image_256):
+        benchmark(denoise_bilateral, image_256)
+
+    def test_nlm_128(self, benchmark, image_256):
+        benchmark.pedantic(denoise_nlm, args=(image_256[:128, :128],), rounds=2, iterations=1)
+
+
+class TestModelKernels:
+    def test_patch_features_256(self, benchmark, image_256):
+        extractor = PatchFeatureExtractor(stride=4)
+        benchmark(extractor, image_256)
+
+    def test_attention_1024_tokens(self, benchmark):
+        mha = MultiHeadAttention(ParamFactory(0), "bench", dim=64, n_heads=4)
+        x = np.random.default_rng(0).normal(size=(1024, 64)).astype(np.float32)
+        benchmark(mha, x)
+
+    def test_sam_set_image_256(self, benchmark, image_256):
+        predictor = SamPredictor(build_sam())
+        benchmark.pedantic(predictor.set_image, args=(image_256,), rounds=3, iterations=1)
+
+    def test_analytic_box_prompt(self, benchmark, image_256):
+        predictor = SamPredictor(build_sam())
+        predictor.set_image(image_256)
+        ctx = predictor.analytic_context
+        box = np.array([40.0, 140.0, 200.0, 240.0])
+        benchmark(predictor.sam.analytic.masks_from_box, ctx, box)
+
+
+class TestGenerator:
+    def test_synthesize_volume_256x10(self, benchmark):
+        benchmark.pedantic(
+            synthesize_fibsem_volume,
+            kwargs={"shape": (256, 256), "n_slices": 10, "seed": 3},
+            rounds=2,
+            iterations=1,
+        )

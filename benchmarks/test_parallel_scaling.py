@@ -1,0 +1,60 @@
+"""Mode B parallel-scaling bench (the ICPP angle).
+
+Measures batch segmentation wall time at 1 / 2 / 4 workers over the
+crystalline volume, reports speedup, and verifies worker decomposition
+correctness (parallel output == serial output without temporal coupling).
+"""
+
+import numpy as np
+
+from repro.core.batch import BatchConfig, segment_volume_batch
+from repro.eval.experiments import DEFAULT_PROMPT
+
+
+def test_parallel_scaling(setup, artifact_dir, benchmark):
+    volume = setup.dataset.crystalline.volume
+    results = {}
+    masks_by_workers = {}
+    for workers in (1, 2, 4):
+        masks, report = segment_volume_batch(
+            volume, DEFAULT_PROMPT, BatchConfig(n_workers=workers, temporal=False)
+        )
+        results[workers] = report.wall_s
+        masks_by_workers[workers] = masks
+    lines = [
+        f"{w} worker(s): {t:6.2f}s  speedup x{results[1] / t:4.2f}" for w, t in results.items()
+    ]
+    text = "\n".join(lines)
+    print("\nMode B parallel scaling (10 slices, 256², temporal off)")
+    print(text)
+    (artifact_dir / "parallel_scaling.txt").write_text(text)
+
+    # Correctness: identical masks regardless of decomposition.
+    for w in (2, 4):
+        assert np.array_equal(masks_by_workers[1], masks_by_workers[w])
+    # On a single-core box speedup may be flat; on multi-core it must not be
+    # pathologically negative (2x slower would indicate serialization bugs).
+    assert results[2] < results[1] * 2.5
+
+
+def test_parallel_halo_consistency(setup, benchmark):
+    """Temporal mode with halos approximates the serial refinement closely."""
+    volume = setup.dataset.crystalline.volume
+    serial, _ = segment_volume_batch(volume, DEFAULT_PROMPT, BatchConfig(n_workers=1))
+    halo, _ = segment_volume_batch(volume, DEFAULT_PROMPT, BatchConfig(n_workers=2, halo=3))
+    agreement = (serial == halo).mean()
+    print(f"\nhalo-vs-serial voxel agreement: {agreement:.4f}")
+    assert agreement > 0.97
+
+
+def test_shared_memory_overhead(benchmark, setup):
+    """Round-trip cost of placing a volume in shared memory."""
+    from repro.parallel.sharedmem import SharedNDArray
+
+    voxels = setup.dataset.crystalline.volume.voxels
+
+    def roundtrip():
+        with SharedNDArray.from_array(voxels) as shm:
+            return shm.array.sum()
+
+    benchmark(roundtrip)

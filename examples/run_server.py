@@ -1,0 +1,79 @@
+"""Launch the Zenesis platform server (the no-code web backend).
+
+Starts the stdlib HTTP server exposing the JSON API, optionally runs a
+self-test conversation against it, and serves until interrupted.
+
+Run:  python examples/run_server.py --port 8765
+      python examples/run_server.py --selftest     # start, exercise, stop
+"""
+
+import argparse
+import json
+import sys
+import urllib.request
+
+import numpy as np
+
+from repro import make_sample
+from repro.io.tiff import write_tiff
+from repro.platform.server import PlatformServer
+
+
+def _post(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        url + "/api",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    return json.loads(urllib.request.urlopen(req, timeout=120).read())
+
+
+def selftest(server: PlatformServer) -> None:
+    """A full client conversation: upload → preview → segment → export."""
+    import tempfile
+    from pathlib import Path
+
+    tmp = Path(tempfile.mkdtemp())
+    sample = make_sample("amorphous", shape=(128, 128), n_slices=4, seed=3)
+    path = tmp / "upload.tif"
+    write_tiff(path, sample.volume.voxels)
+
+    url = server.url
+    sid = _post(url, {"action": "create_session"})["session_id"]
+    preview = _post(url, {"action": "load_file", "session_id": sid, "path": str(path)})
+    assert preview["ok"], preview
+    print("preview:", json.dumps(preview["preview"], indent=2)[:400], "...")
+    seg = _post(url, {"action": "segment", "session_id": sid, "prompt": "catalyst particles"})
+    assert seg["ok"], seg
+    print(f"segment: coverage={seg['result']['coverage']:.3f} boxes={len(seg['result']['boxes'])}")
+    png = _post(url, {"action": "mask_png", "session_id": sid})
+    assert png["ok"] and png["bytes"] > 100
+    print(f"export: {png['bytes']} PNG bytes")
+    print("selftest OK")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--selftest", action="store_true", help="exercise the API then exit")
+    args = parser.parse_args(argv)
+
+    server = PlatformServer(host=args.host, port=args.port if not args.selftest else 0)
+    server.start()
+    print(f"Zenesis platform serving at {server.url} (POST JSON to /api)")
+    try:
+        if args.selftest:
+            selftest(server)
+            return
+        import threading
+
+        threading.Event().wait()  # serve forever
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

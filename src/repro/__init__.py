@@ -1,0 +1,49 @@
+"""repro — reproduction of Zenesis (ICPP 2025 DRAI).
+
+*"Foundation Models for Zero-Shot Segmentation of Scientific Images
+without AI-Ready Data"* — an interactive, no-code platform coupling
+GroundingDINO-style text grounding with SAM-style promptable segmentation
+for raw scientific images (FIB-SEM volumes of catalyst-loaded membranes).
+
+Quickstart::
+
+    from repro import ZenesisPipeline, make_benchmark_dataset
+    from repro.metrics import iou
+
+    dataset = make_benchmark_dataset()
+    pipeline = ZenesisPipeline()
+    sl = dataset.slices[0]
+    result = pipeline.segment_image(sl.image, "catalyst particles")
+    print(iou(result.mask, sl.gt_mask))
+
+Subpackages
+-----------
+``repro.data``      containers + synthetic FIB-SEM generation (the dataset
+                    substitute; see DESIGN.md).
+``repro.adapt``     lightweight multi-modal adaptation + readiness scoring.
+``repro.models``    GroundingDINO and SAM surrogates on a from-scratch
+                    NumPy transformer stack.
+``repro.core``      the Zenesis pipeline, HITL rectification, temporal and
+                    hierarchical refinement, Mode B batching.
+``repro.baselines`` Otsu, SAM-only, and classical extras.
+``repro.metrics``   accuracy / IoU / Dice / boundary metrics + aggregation.
+``repro.eval``      Mode C evaluation, paper tables, HTML dashboard.
+``repro.parallel``  shared-memory worker pool and slice scheduling.
+``repro.platform``  sessions, JSON API, HTTP server, figure rendering.
+``repro.io``        from-scratch TIFF/PNG codecs and volume bundles.
+"""
+
+from .core.pipeline import ZenesisConfig, ZenesisPipeline
+from .data.datasets import make_benchmark_dataset, make_sample
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ZenesisConfig",
+    "ZenesisPipeline",
+    "__version__",
+    "make_benchmark_dataset",
+    "make_sample",
+]

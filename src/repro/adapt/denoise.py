@@ -1,0 +1,158 @@
+"""Denoising for low-dose scientific images.
+
+Four denoisers with increasing edge awareness: Gaussian, median, bilateral,
+and a patch-mean non-local-means variant.  The bilateral and NLM filters are
+implemented with vectorised shift-and-accumulate loops over the (small)
+neighbourhood offsets, never over pixels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter, median_filter, uniform_filter
+
+from ..utils.validation import ensure_2d, ensure_positive
+
+__all__ = ["denoise_gaussian", "denoise_median", "denoise_bilateral", "denoise_nlm", "unsharp_mask", "flatfield_correct"]
+
+
+def flatfield_correct(image: np.ndarray, *, sigma: float = 48.0, softness: float = 0.04) -> np.ndarray:
+    """Sample-aware flat-field correction for slow illumination drift.
+
+    Plain retinex (divide by a blurred copy) fails on scenes dominated by a
+    dark vacuum region: the blur mixes background into the illumination
+    estimate near the interface and the division distorts exactly the
+    contrast that matters.  Here the illumination field is estimated by a
+    *masked* blur over sample-likelihood weights (a soft Otsu split), and
+    the correcting gain is applied only where the sample is:
+
+        w      = sigmoid((img - otsu) / softness)
+        illum  = blur(img·w) / blur(w)
+        gain   = mean(illum | sample) / illum
+        out    = img · (1 + w·(gain - 1))
+    """
+    img = ensure_2d(image, "image").astype(np.float32)
+    ensure_positive(sigma, "sigma")
+    ensure_positive(softness, "softness")
+    # Soft sample weight from the global two-class split.
+    hist, edges = np.histogram(np.clip(img, 0, 1), bins=128, range=(0.0, 1.0))
+    p = hist.astype(np.float64) / max(hist.sum(), 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    w0 = np.cumsum(p)
+    m0 = np.cumsum(p * centers)
+    mu = m0[-1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        between = np.nan_to_num((mu * w0 - m0) ** 2 / (w0 * (1 - w0)))
+    plateau = np.nonzero(between >= between.max() - 1e-12)[0]
+    # Plateau midpoint: spike-dominated histograms (noiseless phases) make
+    # the between-class curve flat between the modes; the edge would leak
+    # background into the sample weight.
+    t = float(centers[int(plateau[(len(plateau) - 1) // 2])])
+    w = 1.0 / (1.0 + np.exp(-(img - t) / softness))
+
+    num = gaussian_filter(img * w, sigma=sigma, mode="reflect")
+    den = gaussian_filter(w, sigma=sigma, mode="reflect")
+    illum = num / np.maximum(den, 1e-3)
+    sample_mean = float((img * w).sum() / max(w.sum(), 1e-6))
+    gain = sample_mean / np.maximum(illum, 0.05)
+    corrected = img * (1.0 + w * (gain - 1.0))
+    return np.clip(corrected, 0.0, 1.0).astype(np.float32)
+
+
+def unsharp_mask(image: np.ndarray, *, amount: float = 2.0, sigma: float = 2.0) -> np.ndarray:
+    """Unsharp masking: ``img + amount * (img - gaussian(img, sigma))``.
+
+    Counteracts defocus blur so thin structures (needle-like catalyst)
+    recover their half-maximum boundaries before intensity-based
+    segmentation; part of the segmenter-branch adaptation recipe.
+    """
+    img = ensure_2d(image, "image").astype(np.float32)
+    ensure_positive(sigma, "sigma")
+    blurred = gaussian_filter(img, sigma=sigma, mode="reflect")
+    return np.clip(img + np.float32(amount) * (img - blurred), 0.0, 1.0)
+
+
+def denoise_gaussian(image: np.ndarray, *, sigma: float = 1.0) -> np.ndarray:
+    """Gaussian smoothing (fast, blurs edges)."""
+    img = ensure_2d(image, "image").astype(np.float32)
+    ensure_positive(sigma, "sigma")
+    return gaussian_filter(img, sigma=sigma, mode="reflect")
+
+
+def denoise_median(image: np.ndarray, *, size: int = 3) -> np.ndarray:
+    """Median filtering (robust to shot-noise outliers)."""
+    img = ensure_2d(image, "image").astype(np.float32)
+    if size < 1 or size % 2 == 0:
+        raise ValueError(f"size must be odd and >= 1, got {size}")
+    return median_filter(img, size=size, mode="reflect")
+
+
+def _shifted(img: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Image shifted by (dy, dx) with edge replication, same shape."""
+    padded = np.pad(img, ((abs(dy), abs(dy)), (abs(dx), abs(dx))), mode="edge")
+    h, w = img.shape
+    return padded[abs(dy) + dy : abs(dy) + dy + h, abs(dx) + dx : abs(dx) + dx + w]
+
+
+def denoise_bilateral(
+    image: np.ndarray,
+    *,
+    sigma_spatial: float = 2.0,
+    sigma_range: float = 0.1,
+    radius: int | None = None,
+) -> np.ndarray:
+    """Bilateral filter: Gaussian in space, Gaussian in intensity difference.
+
+    Preserves the sharp film/background interface while smoothing the
+    ionomer texture — the workhorse for FIB-SEM adaptation.
+    """
+    img = ensure_2d(image, "image").astype(np.float32)
+    ensure_positive(sigma_spatial, "sigma_spatial")
+    ensure_positive(sigma_range, "sigma_range")
+    r = radius if radius is not None else max(1, int(round(2 * sigma_spatial)))
+    acc = np.zeros_like(img, dtype=np.float64)
+    norm = np.zeros_like(img, dtype=np.float64)
+    inv_2ss = 1.0 / (2.0 * sigma_spatial**2)
+    inv_2sr = 1.0 / (2.0 * sigma_range**2)
+    for dy in range(-r, r + 1):
+        for dx in range(-r, r + 1):
+            w_s = np.exp(-(dy * dy + dx * dx) * inv_2ss)
+            if w_s < 1e-4:
+                continue
+            shifted = _shifted(img, dy, dx)
+            w = w_s * np.exp(-((shifted - img) ** 2) * inv_2sr)
+            acc += w * shifted
+            norm += w
+    return (acc / np.maximum(norm, 1e-12)).astype(np.float32)
+
+
+def denoise_nlm(
+    image: np.ndarray,
+    *,
+    patch_size: int = 3,
+    search_radius: int = 4,
+    h: float = 0.08,
+) -> np.ndarray:
+    """Non-local-means (patch-mean approximation).
+
+    Patch distances are approximated by uniform-filtered squared differences
+    between the image and its shifted copies, which turns NLM into a
+    shift-and-accumulate loop over the search window — O(window²) filtered
+    images instead of O(pixels · window² · patch²) scalar ops.
+    """
+    img = ensure_2d(image, "image").astype(np.float32)
+    if patch_size < 1 or patch_size % 2 == 0:
+        raise ValueError(f"patch_size must be odd and >= 1, got {patch_size}")
+    ensure_positive(search_radius, "search_radius")
+    ensure_positive(h, "h")
+    acc = np.zeros_like(img, dtype=np.float64)
+    norm = np.zeros_like(img, dtype=np.float64)
+    inv_h2 = 1.0 / (h * h)
+    for dy in range(-search_radius, search_radius + 1):
+        for dx in range(-search_radius, search_radius + 1):
+            shifted = _shifted(img, dy, dx)
+            d2 = uniform_filter((shifted - img) ** 2, size=patch_size, mode="reflect")
+            w = np.exp(-np.maximum(d2, 0.0) * inv_h2)
+            acc += w * shifted
+            norm += w
+    return (acc / np.maximum(norm, 1e-12)).astype(np.float32)

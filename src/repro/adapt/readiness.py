@@ -1,0 +1,162 @@
+"""Data-readiness scoring: the paper's contribution #1, made quantitative.
+
+The paper formalises the gap between raw scientific images and the inputs
+foundation models expect as *format*, *dimensional*, and *semantic*
+incompatibilities.  This module scores each axis in [0, 1] for a concrete
+image, so that "make this AI-ready" has a measurable before/after (Fig. 1):
+
+* **format** — is the dtype/bit depth something an RGB-trained model ingests
+  natively?  8-bit scores 1.0; 16/32-bit and floats score lower.
+* **dynamic range** — fraction of the nominal range the signal actually
+  spans; raw 16/32-bit data typically sits in a sliver of it.
+* **snr** — estimated signal-to-noise (robust signal spread over a noise
+  estimate from the median absolute pseudo-residual of a Laplacian).
+* **contrast** — bimodality of the histogram (between-class variance of the
+  best two-class split relative to total variance: the Otsu criterion
+  recycled as a score).
+* **channels** — 3-channel inputs score 1.0, single-channel grayscale lower.
+
+The overall score is the geometric mean: a single hard incompatibility
+drags readiness toward zero, mirroring how one bad axis breaks inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import laplace
+
+from ..data.image import ScientificImage
+from ..utils.validation import ensure_ndarray
+from .bitdepth import nominal_range
+
+__all__ = ["ReadinessReport", "score_readiness", "READY_THRESHOLD"]
+
+#: Overall score above which an image is considered AI-ready.  Calibrated
+#: so raw 8/16/32-bit single-channel instrument data (≈0.5-0.61 on the
+#: synthetic corpus) falls below and adapted 3-channel uint8 (≈0.9+) above.
+READY_THRESHOLD = 0.65
+
+
+@dataclass(frozen=True)
+class ReadinessReport:
+    """Per-axis readiness scores in [0, 1] plus the overall geometric mean."""
+
+    format_score: float
+    dynamic_range_score: float
+    snr_score: float
+    contrast_score: float
+    channel_score: float
+
+    @property
+    def overall(self) -> float:
+        parts = np.array(
+            [
+                self.format_score,
+                self.dynamic_range_score,
+                self.snr_score,
+                self.contrast_score,
+                self.channel_score,
+            ]
+        )
+        return float(np.exp(np.mean(np.log(np.maximum(parts, 1e-6)))))
+
+    @property
+    def is_ready(self) -> bool:
+        return self.overall >= READY_THRESHOLD
+
+    def as_dict(self) -> dict:
+        return {
+            "format": self.format_score,
+            "dynamic_range": self.dynamic_range_score,
+            "snr": self.snr_score,
+            "contrast": self.contrast_score,
+            "channels": self.channel_score,
+            "overall": self.overall,
+            "is_ready": self.is_ready,
+        }
+
+
+def _format_score(arr: np.ndarray) -> float:
+    if arr.dtype == np.uint8:
+        return 1.0
+    if arr.dtype == np.uint16:
+        return 0.45
+    if arr.dtype in (np.uint32, np.int32):
+        return 0.3
+    if arr.dtype.kind == "f":
+        # Floats in [0,1] are trivially convertible; arbitrary floats are not.
+        finite = arr[np.isfinite(arr)]
+        if finite.size and finite.min() >= 0.0 and finite.max() <= 1.0:
+            return 0.9
+        return 0.35
+    return 0.2
+
+
+def _dynamic_range_score(arr: np.ndarray) -> float:
+    finite = arr[np.isfinite(arr)].astype(np.float64)
+    if finite.size == 0:
+        return 0.0
+    lo, hi = np.percentile(finite, [1.0, 99.0])
+    span = (hi - lo) / nominal_range(arr.dtype)
+    return float(np.clip(span, 0.0, 1.0))
+
+
+def _snr_score(arr: np.ndarray) -> float:
+    f = arr.astype(np.float64)
+    scale = nominal_range(arr.dtype)
+    if scale != 1.0:
+        f = f / scale
+    if f.ndim == 3:
+        f = f.mean(axis=2)
+    # Noise sigma estimate: Laplacian residual MAD (Immerkaer-style).
+    resid = laplace(f, mode="reflect")
+    sigma = float(np.median(np.abs(resid))) / 0.6745 / np.sqrt(20.0)
+    signal = float(np.percentile(f, 95) - np.percentile(f, 5))
+    if sigma <= 1e-9:
+        return 1.0
+    snr = signal / sigma
+    # Map SNR ~3 -> 0.3, ~10 -> ~0.7, ~30 -> ~0.95 with a saturating curve.
+    return float(np.clip(1.0 - np.exp(-snr / 10.0), 0.0, 1.0))
+
+
+def _contrast_score(arr: np.ndarray) -> float:
+    f = arr.astype(np.float64)
+    scale = nominal_range(arr.dtype)
+    if scale != 1.0:
+        f = f / scale
+    if f.ndim == 3:
+        f = f.mean(axis=2)
+    hist, _ = np.histogram(np.clip(f, 0, 1), bins=128, range=(0.0, 1.0))
+    p = hist.astype(np.float64)
+    total = p.sum()
+    if total == 0:
+        return 0.0
+    p /= total
+    bins = (np.arange(128) + 0.5) / 128.0
+    mu_total = float((p * bins).sum())
+    var_total = float((p * (bins - mu_total) ** 2).sum())
+    if var_total <= 1e-12:
+        return 0.0
+    w0 = np.cumsum(p)
+    m0 = np.cumsum(p * bins)
+    w1 = 1.0 - w0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mu0 = m0 / w0
+        mu1 = (mu_total - m0) / w1
+        between = w0 * w1 * (mu0 - mu1) ** 2
+    between = np.nan_to_num(between)
+    return float(np.clip(between.max() / var_total, 0.0, 1.0))
+
+
+def score_readiness(image: ScientificImage | np.ndarray) -> ReadinessReport:
+    """Score an image's AI-readiness along the five axes."""
+    arr = image.pixels if isinstance(image, ScientificImage) else ensure_ndarray(image)
+    return ReadinessReport(
+        format_score=_format_score(arr),
+        dynamic_range_score=_dynamic_range_score(arr),
+        snr_score=_snr_score(arr),
+        contrast_score=_contrast_score(arr),
+        channel_score=1.0 if (arr.ndim == 3 and arr.shape[2] == 3) else 0.55,
+    )

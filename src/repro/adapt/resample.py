@@ -1,0 +1,56 @@
+"""Spatial resampling: resizing and anisotropy correction.
+
+FIB-SEM voxels are anisotropic (milling step ≫ pixel size); 2-D foundation
+models also want a fixed input resolution.  Both needs are served by
+``scipy.ndimage.zoom`` with explicit order control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import zoom
+
+from ..data.volume import ScientificVolume
+from ..errors import ValidationError
+from ..utils.validation import ensure_2d, ensure_3d
+
+__all__ = ["resize_image", "resize_mask", "resample_isotropic"]
+
+
+def resize_image(image: np.ndarray, out_shape: tuple[int, int], *, order: int = 1) -> np.ndarray:
+    """Resize a 2-D image to ``out_shape`` with spline interpolation."""
+    img = ensure_2d(image, "image").astype(np.float32)
+    oh, ow = out_shape
+    if oh < 1 or ow < 1:
+        raise ValidationError(f"out_shape must be positive, got {out_shape}")
+    factors = (oh / img.shape[0], ow / img.shape[1])
+    out = zoom(img, factors, order=order, mode="reflect", grid_mode=True)
+    # zoom can come out one pixel off for awkward ratios; crop/pad to exact.
+    out = out[:oh, :ow]
+    if out.shape != (oh, ow):
+        pad = ((0, oh - out.shape[0]), (0, ow - out.shape[1]))
+        out = np.pad(out, pad, mode="edge")
+    return out
+
+
+def resize_mask(mask: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
+    """Resize a boolean mask with nearest-neighbour semantics."""
+    m = np.asarray(mask, dtype=np.float32)
+    out = resize_image(m, out_shape, order=0)
+    return out > 0.5
+
+
+def resample_isotropic(volume: ScientificVolume, *, order: int = 1) -> ScientificVolume:
+    """Resample a volume so Z spacing matches the in-plane Y spacing.
+
+    Requires ``voxel_size_nm``; a no-op (copy) when already isotropic.
+    """
+    if volume.voxel_size_nm is None:
+        raise ValidationError("resample_isotropic requires voxel_size_nm metadata")
+    vz, vy, vx = volume.voxel_size_nm
+    factors = (vz / vy, 1.0, vx / vy)
+    arr = ensure_3d(volume.voxels, "voxels").astype(np.float32)
+    out = zoom(arr, factors, order=order, mode="nearest", grid_mode=True)
+    resampled = volume.with_voxels(out, "resample_isotropic")
+    object.__setattr__(resampled, "voxel_size_nm", (vy, vy, vy))
+    return resampled

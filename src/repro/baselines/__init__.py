@@ -1,0 +1,17 @@
+"""Baseline segmentation methods: Otsu, SAM-only, and classical extras."""
+
+from .classical import adaptive_threshold_segment, kmeans_segment, watershed_segment
+from .otsu import multi_otsu_segment, multi_otsu_thresholds, otsu_segment, otsu_threshold
+from .sam_only import SamOnlyBaseline, SamOnlyConfig
+
+__all__ = [
+    "SamOnlyBaseline",
+    "SamOnlyConfig",
+    "adaptive_threshold_segment",
+    "kmeans_segment",
+    "multi_otsu_segment",
+    "multi_otsu_thresholds",
+    "otsu_segment",
+    "otsu_threshold",
+    "watershed_segment",
+]

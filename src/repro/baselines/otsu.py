@@ -1,0 +1,124 @@
+"""Otsu thresholding baseline (paper Table 1), implemented from scratch.
+
+Given a FIB-SEM slice, the baseline protocol is: robust bit-depth
+normalisation (the minimum to get a float image), then a global Otsu
+threshold, foreground = bright side.  On catalyst-film scenes the dominant
+intensity split is black background vs sample, so the predicted foreground
+is the whole film — the failure mode the paper reports (crystalline IoU
+0.161: exactly the catalyst's share of the film).
+
+Also provided: multi-level Otsu (exhaustive two-threshold search) used by
+the ablation benches to show that even a 3-class global threshold cannot
+isolate low-contrast crystalline catalyst.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adapt.bitdepth import robust_normalize
+from ..errors import ValidationError
+from ..utils.validation import ensure_2d
+
+__all__ = ["otsu_threshold", "otsu_segment", "multi_otsu_thresholds", "multi_otsu_segment"]
+
+
+def _histogram(image: np.ndarray, n_bins: int) -> tuple[np.ndarray, np.ndarray]:
+    hist, edges = np.histogram(np.clip(image, 0.0, 1.0), bins=n_bins, range=(0.0, 1.0))
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return hist.astype(np.float64), centers
+
+
+def otsu_threshold(image: np.ndarray, *, n_bins: int = 256) -> float:
+    """The threshold maximising between-class variance (float [0,1] input)."""
+    img = ensure_2d(image, "image")
+    hist, centers = _histogram(img, n_bins)
+    total = hist.sum()
+    if total == 0:
+        raise ValidationError("cannot compute Otsu threshold of an empty histogram")
+    p = hist / total
+    w0 = np.cumsum(p)
+    m0 = np.cumsum(p * centers)
+    mu = m0[-1]
+    w1 = 1.0 - w0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        between = (mu * w0 - m0) ** 2 / (w0 * w1)
+    between = np.nan_to_num(between)
+    best = between.max()
+    plateau = np.nonzero(between >= best - 1e-12)[0]
+    # Plateau midpoint (matches reference implementations on flat maxima).
+    return float(centers[int(plateau[(len(plateau) - 1) // 2])])
+
+
+def otsu_segment(image: np.ndarray, *, n_bins: int = 256, normalize: bool = True) -> np.ndarray:
+    """The full baseline: (normalise →) threshold → bright side as foreground."""
+    img = np.asarray(image)
+    f = robust_normalize(img) if normalize else ensure_2d(img).astype(np.float32)
+    t = otsu_threshold(f, n_bins=n_bins)
+    return f > t
+
+
+def multi_otsu_thresholds(image: np.ndarray, *, classes: int = 3, n_bins: int = 96) -> tuple[float, ...]:
+    """Multi-level Otsu by exhaustive search over threshold tuples.
+
+    Supports 3 or 4 classes (2 or 3 thresholds) — enough for the
+    background/film/catalyst structure — with the classic maximisation of
+    the between-class variance Σ wᵢ·μᵢ².
+    """
+    if classes not in (3, 4):
+        raise ValidationError(f"multi-otsu supports 3 or 4 classes, got {classes}")
+    img = ensure_2d(image, "image")
+    hist, centers = _histogram(img, n_bins)
+    p = hist / max(hist.sum(), 1)
+    # Prefix sums for O(1) class statistics.
+    W = np.concatenate([[0.0], np.cumsum(p)])
+    M = np.concatenate([[0.0], np.cumsum(p * centers)])
+
+    def class_stat(i: int, j: int) -> float:
+        """w·μ² for the class spanning bins [i, j)."""
+        w = W[j] - W[i]
+        if w <= 0:
+            return 0.0
+        m = (M[j] - M[i]) / w
+        return w * m * m
+
+    best = (-1.0, (0, 0))
+    n = n_bins
+    if classes == 3:
+        for i in range(1, n - 1):
+            s1 = class_stat(0, i)
+            for j in range(i + 1, n):
+                val = s1 + class_stat(i, j) + class_stat(j, n)
+                if val > best[0]:
+                    best = (val, (i, j))
+        i, j = best[1]
+        return (float(centers[i]), float(centers[j]))
+    # classes == 4: coarse stride search then local refinement keeps this
+    # O(n²) instead of O(n³).
+    stride = 2
+    coarse = (-1.0, (0, 0, 0))
+    for i in range(1, n - 2, stride):
+        s1 = class_stat(0, i)
+        for j in range(i + 1, n - 1, stride):
+            s2 = s1 + class_stat(i, j)
+            for k in range(j + 1, n, stride):
+                val = s2 + class_stat(j, k) + class_stat(k, n)
+                if val > coarse[0]:
+                    coarse = (val, (i, j, k))
+    ci, cj, ck = coarse[1]
+    for i in range(max(1, ci - stride), min(n - 2, ci + stride) + 1):
+        for j in range(max(i + 1, cj - stride), min(n - 1, cj + stride) + 1):
+            for k in range(max(j + 1, ck - stride), min(n - 1, ck + stride) + 1):
+                val = class_stat(0, i) + class_stat(i, j) + class_stat(j, k) + class_stat(k, n)
+                if val > best[0]:
+                    best = (val, (i, j, k))  # type: ignore[assignment]
+    i, j, k = best[1]  # type: ignore[misc]
+    return (float(centers[i]), float(centers[j]), float(centers[k]))
+
+
+def multi_otsu_segment(image: np.ndarray, *, classes: int = 3, normalize: bool = True) -> np.ndarray:
+    """Segment with multi-level Otsu; foreground = the brightest class."""
+    img = np.asarray(image)
+    f = robust_normalize(img) if normalize else ensure_2d(img).astype(np.float32)
+    thresholds = multi_otsu_thresholds(f, classes=classes)
+    return f > thresholds[-1]

@@ -1,0 +1,62 @@
+"""SAM-only baseline (paper Table 2): unprompted SAM "in isolation".
+
+Protocol: robust bit-depth normalisation only (no Zenesis adaptation, no
+text grounding), then SAM's automatic mask generator; the prediction is the
+single highest-confidence mask — the paper's description of SAM/Otsu
+"reliance on maximum confidence scores to select regions".
+
+On these scenes the most confident segment is usually the sharp-edged black
+background (crystalline: total failure, IoU ≈ 0); on amorphous samples the
+strong blob boundaries dominate the image's gradient budget, demoting the
+background and letting a catalyst-aggregate mask win — moderate IoU with
+high variance, as the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..adapt.bitdepth import robust_normalize
+from ..models.registry import build_sam
+from ..models.sam.automatic import SamAutomaticMaskGenerator
+
+__all__ = ["SamOnlyConfig", "SamOnlyBaseline"]
+
+
+@dataclass(frozen=True)
+class SamOnlyConfig:
+    """Baseline parameters."""
+
+    sam_name: str = "vit_t"
+    points_per_side: int = 8
+    pred_iou_thresh: float = 0.3
+    stability_score_thresh: float = 0.3
+    seed: int = 0
+
+
+class SamOnlyBaseline:
+    """Max-confidence automatic SAM segmentation."""
+
+    def __init__(self, config: SamOnlyConfig | None = None) -> None:
+        self.config = config or SamOnlyConfig()
+        self.generator = SamAutomaticMaskGenerator(
+            build_sam(self.config.sam_name, seed=self.config.seed),
+            points_per_side=self.config.points_per_side,
+            pred_iou_thresh=self.config.pred_iou_thresh,
+            stability_score_thresh=self.config.stability_score_thresh,
+        )
+
+    def segment(self, image: np.ndarray, *, normalize: bool = True) -> np.ndarray:
+        """Predict the max-confidence mask for a raw image."""
+        f = robust_normalize(image) if normalize else np.asarray(image, dtype=np.float32)
+        records = self.generator.generate(f)
+        if not records:
+            return np.zeros(f.shape, dtype=bool)
+        return records[0]["segmentation"]
+
+    def all_masks(self, image: np.ndarray, *, normalize: bool = True) -> list[dict]:
+        """Full automatic-mode output (for inspection / figures)."""
+        f = robust_normalize(image) if normalize else np.asarray(image, dtype=np.float32)
+        return self.generator.generate(f)

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the platform's no-code surface for shell users:
+
+* ``segment``    — one image/volume file + prompt → mask file (+ overlay)
+* ``batch``      — Mode B over a volume with workers/temporal options
+* ``evaluate``   — Mode C on the built-in benchmark, prints paper tables
+* ``synthesize`` — generate a synthetic FIB-SEM acquisition to disk
+* ``serve``      — run the HTTP platform server
+* ``readiness``  — score a file's AI-readiness
+
+Each command prints a short human summary to stdout and writes artifacts
+next to the input (or to ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("segment", help="segment a file from a text prompt")
+    p.add_argument("path", type=Path)
+    p.add_argument("prompt")
+    p.add_argument("--out", type=Path, default=None, help="output .npz (default: alongside input)")
+    p.add_argument("--overlay", type=Path, default=None, help="also write an overlay PNG")
+    p.add_argument("--slice", type=int, default=None, help="volume slice to segment (default: all)")
+
+    p = sub.add_parser("batch", help="Mode B batch segmentation of a volume")
+    p.add_argument("path", type=Path)
+    p.add_argument("prompt")
+    p.add_argument("--out", type=Path, default=None)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--no-temporal", action="store_true")
+
+    p = sub.add_parser("evaluate", help="run the paper's table experiments")
+    p.add_argument("--methods", nargs="+", default=["otsu", "sam_only", "zenesis"])
+    p.add_argument("--size", type=int, default=256, help="slice edge length")
+    p.add_argument("--slices", type=int, default=10, help="slices per volume")
+    p.add_argument("--dashboard", type=Path, default=None, help="write HTML dashboard here")
+
+    p = sub.add_parser("synthesize", help="generate a synthetic FIB-SEM volume")
+    p.add_argument("kind", choices=["crystalline", "amorphous"])
+    p.add_argument("out", type=Path)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--slices", type=int, default=10)
+    p.add_argument("--with-gt", action="store_true", help="bundle ground truth (npz output)")
+
+    p = sub.add_parser("serve", help="run the platform HTTP server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+
+    p = sub.add_parser("readiness", help="score a file's AI-readiness")
+    p.add_argument("path", type=Path)
+    return parser
+
+
+def _cmd_segment(args) -> int:
+    from .core.pipeline import ZenesisPipeline
+    from .io.formats import load_image_file
+    from .io.volume_io import save_volume_bundle
+    from .platform.render import save_figure
+    from .viz.overlay import overlay_mask
+
+    arr = load_image_file(args.path)
+    pipeline = ZenesisPipeline()
+    out = args.out or args.path.with_suffix(".masks.npz")
+    if arr.ndim == 3 and args.slice is None:
+        result = pipeline.segment_volume(arr, args.prompt)
+        masks = result.masks
+        print(f"{masks.shape[0]} slices; volume fraction {result.volume_fraction():.3f}")
+        save_volume_bundle(out, arr, masks, {"prompt": args.prompt})
+    else:
+        img = arr[args.slice] if arr.ndim == 3 else arr
+        result = pipeline.segment_image(img, args.prompt)
+        print(f"boxes {result.n_boxes}; coverage {result.coverage:.3f}")
+        np.savez_compressed(out, mask=result.mask, boxes=result.detection.boxes)
+        if args.overlay is not None:
+            _, seg_img = pipeline.adapt(img)
+            save_figure(args.overlay, overlay_mask(seg_img, result.mask))
+            print(f"overlay -> {args.overlay}")
+    print(f"masks -> {out}")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from .core.batch import BatchConfig, segment_volume_batch
+    from .io.formats import load_image_file
+    from .io.volume_io import save_volume_bundle
+
+    arr = load_image_file(args.path)
+    if arr.ndim != 3:
+        print("batch requires a volume (3-D) input", file=sys.stderr)
+        return 2
+    masks, report = segment_volume_batch(
+        arr, args.prompt, BatchConfig(n_workers=args.workers, temporal=not args.no_temporal)
+    )
+    out = args.out or args.path.with_suffix(".masks.npz")
+    save_volume_bundle(out, arr, masks, {"prompt": args.prompt})
+    print(
+        f"{report.n_slices} slices on {report.n_workers} worker(s) in {report.wall_s:.1f}s; "
+        f"volume fraction {masks.mean():.3f}; masks -> {out}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .data.datasets import make_benchmark_dataset
+    from .eval.dashboard import render_dashboard
+    from .eval.evaluator import Evaluator
+    from .eval.experiments import ExperimentSetup, build_methods
+    from .eval.report import paper_table
+
+    setup = ExperimentSetup(
+        dataset=make_benchmark_dataset(shape=(args.size, args.size), n_slices=args.slices)
+    )
+    evaluator = Evaluator(build_methods(setup))
+    evaluations = evaluator.evaluate(setup.dataset.slices, method_names=args.methods)
+    for name, ev in evaluations.items():
+        print()
+        print(paper_table(ev))
+    if args.dashboard is not None:
+        args.dashboard.write_text(render_dashboard(evaluations))
+        print(f"\ndashboard -> {args.dashboard}")
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    from .data.datasets import make_sample
+    from .io.volume_io import export_volume_tiff, save_volume_bundle
+
+    sample = make_sample(
+        args.kind, seed=args.seed, shape=(args.size, args.size), n_slices=args.slices
+    )
+    if args.with_gt or args.out.suffix == ".npz":
+        save_volume_bundle(
+            args.out,
+            sample.volume.voxels,
+            sample.catalyst_mask,
+            {"kind": args.kind, "seed": args.seed},
+        )
+    else:
+        export_volume_tiff(args.out, sample.volume.voxels, voxel_size_nm=(5.0, 5.0))
+    print(
+        f"{args.kind} volume {sample.volume.shape} "
+        f"(catalyst fraction {sample.catalyst_mask.mean():.3f}) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .platform.server import PlatformServer
+
+    server = PlatformServer(host=args.host, port=args.port)
+    server.start()
+    print(f"serving at {server.url} — Ctrl-C to stop")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_readiness(args) -> int:
+    from .adapt.readiness import score_readiness
+    from .data.image import ScientificImage
+    from .io.formats import load_image_file
+
+    arr = load_image_file(args.path)
+    if arr.ndim == 3 and arr.shape[2] not in (3, 4):
+        arr = arr[0]  # first slice of a volume
+    report = score_readiness(ScientificImage(arr))
+    print(json.dumps(report.as_dict(), indent=2))
+    return 0
+
+
+_COMMANDS = {
+    "segment": _cmd_segment,
+    "batch": _cmd_batch,
+    "evaluate": _cmd_evaluate,
+    "synthesize": _cmd_synthesize,
+    "serve": _cmd_serve,
+    "readiness": _cmd_readiness,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

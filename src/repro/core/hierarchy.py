@@ -1,0 +1,91 @@
+"""Further Segment: hierarchical re-segmentation of sub-regions (paper Fig. 5).
+
+The platform lets a user pick one extracted segment and *trigger
+GroundingDINO and SAM on the sub-region for more detailed analysis*.  Here
+that is :func:`further_segment`: crop the region (from a box or a mask's
+bounding box), re-run the full pipeline on the crop — where the relevance
+grid is effectively finer relative to structure size — and paste the result
+back into image coordinates.  Repeated application yields a segmentation
+tree (:class:`SegmentNode`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+from .boxes import mask_to_box, pad_box
+from .pipeline import ZenesisPipeline
+from .results import SliceResult
+
+__all__ = ["SegmentNode", "further_segment"]
+
+
+@dataclass
+class SegmentNode:
+    """One node of the hierarchical segmentation tree."""
+
+    mask: np.ndarray  # full-image coordinates
+    prompt: str
+    box: np.ndarray | None = None  # region this node was computed in
+    depth: int = 0
+    children: list["SegmentNode"] = field(default_factory=list)
+
+    def walk(self):
+        """Yield nodes depth-first (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def n_descendants(self) -> int:
+        return sum(1 for _ in self.walk()) - 1
+
+
+def further_segment(
+    pipeline: ZenesisPipeline,
+    image: np.ndarray,
+    region,
+    prompt: str,
+    *,
+    parent: SegmentNode | None = None,
+    margin: float = 6.0,
+    min_region: int = 32,
+) -> SegmentNode:
+    """Re-segment a sub-region of ``image`` and attach it to the tree.
+
+    ``region`` is an XYXY box or a boolean mask (its bounding box is used).
+    Returns the new child node; if ``parent`` is given the node is appended
+    to its children with ``depth = parent.depth + 1``.
+    """
+    img = np.asarray(image)
+    if img.ndim == 3:
+        img = img.mean(axis=2)
+    h, w = img.shape
+    if isinstance(region, np.ndarray) and region.dtype == bool:
+        box = mask_to_box(region)
+        if box is None:
+            raise ValidationError("further_segment got an empty region mask")
+    else:
+        box = np.asarray(region, dtype=np.float64).reshape(4)
+    box = pad_box(box, margin, image_shape=(h, w))
+    x0, y0, x1, y1 = (int(box[0]), int(box[1]), int(np.ceil(box[2])), int(np.ceil(box[3])))
+    if (y1 - y0) < min_region or (x1 - x0) < min_region:
+        raise ValidationError(
+            f"sub-region {x1 - x0}x{y1 - y0} too small for further segmentation (min {min_region})"
+        )
+    crop = img[y0:y1, x0:x1]
+    result: SliceResult = pipeline.segment_image(crop, prompt)
+    full = np.zeros((h, w), dtype=bool)
+    full[y0:y1, x0:x1] = result.mask
+    node = SegmentNode(
+        mask=full,
+        prompt=prompt,
+        box=box,
+        depth=0 if parent is None else parent.depth + 1,
+    )
+    if parent is not None:
+        parent.children.append(node)
+    return node

@@ -1,0 +1,89 @@
+"""Multi-object segmentation (paper: future work #2).
+
+Segments several text-prompted classes in one pass and resolves pixel
+conflicts into an exclusive label map.  Each prompt runs through the
+standard Zenesis path; where class masks overlap, the pixel goes to the
+class with the higher text-grounded relevance (ties break by prompt order).
+Label 0 is reserved for "unassigned".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PromptError
+from .pipeline import ZenesisPipeline
+from .results import SliceResult
+
+__all__ = ["MultiClassResult", "segment_multi"]
+
+
+@dataclass(frozen=True)
+class MultiClassResult:
+    """An exclusive label map plus the per-class pipeline results."""
+
+    labels: np.ndarray  # (H, W) intp; 0 = unassigned, 1..K = prompt order
+    class_names: tuple[str, ...]
+    per_class: tuple[SliceResult, ...]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def mask_of(self, name_or_index) -> np.ndarray:
+        """Boolean mask of one class, by prompt text or 1-based index."""
+        if isinstance(name_or_index, str):
+            try:
+                idx = self.class_names.index(name_or_index) + 1
+            except ValueError:
+                raise PromptError(
+                    f"unknown class {name_or_index!r}; classes: {list(self.class_names)}"
+                ) from None
+        else:
+            idx = int(name_or_index)
+            if not 1 <= idx <= self.n_classes:
+                raise PromptError(f"class index {idx} out of range 1..{self.n_classes}")
+        return self.labels == idx
+
+    def coverage(self) -> dict[str, float]:
+        """Fraction of the image assigned to each class."""
+        total = self.labels.size
+        return {
+            name: float((self.labels == i + 1).sum() / total)
+            for i, name in enumerate(self.class_names)
+        }
+
+
+def segment_multi(
+    pipeline: ZenesisPipeline,
+    image,
+    prompts: list[str],
+) -> MultiClassResult:
+    """Segment every prompt and fuse into an exclusive label map.
+
+    Conflicts are resolved by per-pixel relevance: the class whose grounding
+    map scores the pixel higher wins it.
+    """
+    if not prompts:
+        raise PromptError("segment_multi needs at least one prompt")
+    if len(set(prompts)) != len(prompts):
+        raise PromptError("duplicate prompts")
+    results: list[SliceResult] = []
+    for prompt in prompts:
+        results.append(pipeline.segment_image(image, prompt))
+    h, w = results[0].mask.shape
+    labels = np.zeros((h, w), dtype=np.intp)
+    best_rel = np.full((h, w), -1.0, dtype=np.float32)
+    # Prompt order iterates forward; strict '>' keeps earlier prompts on ties.
+    for i, res in enumerate(results):
+        rel = res.detection.relevance
+        claim = res.mask & (rel > best_rel)
+        labels[claim] = i + 1
+        best_rel[claim] = rel[claim]
+    return MultiClassResult(
+        labels=labels,
+        class_names=tuple(prompts),
+        per_class=tuple(results),
+    )

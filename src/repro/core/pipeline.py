@@ -1,0 +1,286 @@
+"""The Zenesis pipeline: adaptation → grounding → segmentation → refinement.
+
+This is the paper's core contribution wired together:
+
+1. **Adaptation** (two branches): the *detector* branch feeds GroundingDINO
+   contrast-rich input (bilateral denoise + CLAHE); the *segmenter* branch
+   feeds SAM statistics-friendly input (bilateral denoise + unsharp masking
+   to undo defocus).  Both run on the robust-normalised raw image.
+2. **Grounding**: text prompt → boxes + pixel relevance map.
+3. **Segmentation**: each box prompts SAM; among SAM's mask hypotheses the
+   pipeline keeps the one most consistent with the text-grounded relevance
+   (*grounded mask selection*), then unions the per-box masks and gates the
+   union by the dilated high-relevance region.
+4. **Volumes**: per-slice detections pass through the temporal heuristic
+   (:mod:`repro.core.temporal`) before segmentation.
+
+Every stage is timed into a :class:`~repro.utils.timing.StageProfiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.ndimage import binary_dilation
+
+from ..adapt.bitdepth import robust_normalize
+from ..adapt.contrast import clahe
+from ..adapt.denoise import denoise_bilateral, flatfield_correct, unsharp_mask
+from ..data.image import ScientificImage
+from ..data.volume import ScientificVolume
+from ..errors import GroundingError
+from ..models.dino import Detection, GroundingDino
+from ..models.registry import build_dino, build_sam
+from ..models.sam.analytic import AnalyticMaskHead, MaskHypothesis
+from ..models.sam.model import Sam, SamPredictor
+from ..utils.timing import StageProfiler
+from .prompts import SpatialHints, TextPrompt
+from .results import SliceResult, VolumeResult
+from .temporal import RefinementReport, TemporalConfig, refine_box_sequences
+
+__all__ = ["ZenesisConfig", "ZenesisPipeline"]
+
+
+@dataclass(frozen=True)
+class ZenesisConfig:
+    """End-to-end pipeline configuration."""
+
+    dino_name: str = "swin_t"
+    sam_name: str = "vit_t"
+    box_threshold: float = 0.35
+    text_threshold: float = 0.25
+    # Segmenter-branch adaptation.
+    denoise_sigma_spatial: float = 1.5
+    denoise_sigma_range: float = 0.12
+    flatfield: bool = True  # sample-aware illumination correction
+    flatfield_sigma: float = 48.0
+    unsharp_amount: float = 2.0
+    unsharp_sigma: float = 2.0
+    # Detector-branch adaptation.
+    clahe_tiles: tuple[int, int] = (8, 8)
+    clahe_clip: float = 2.5
+    # Grounded mask selection.
+    selection_floor: float = 0.25
+    gate_dilation: int = 4
+    band_k: float = 2.0
+    # Volumes.
+    temporal: TemporalConfig = field(default_factory=TemporalConfig)
+    seed: int = 0
+    strict_grounding: bool = False  # raise GroundingError when nothing grounds
+
+
+class ZenesisPipeline:
+    """Text-prompted zero-shot segmentation of raw scientific images."""
+
+    def __init__(self, config: ZenesisConfig | None = None) -> None:
+        self.config = config or ZenesisConfig()
+        cfg = self.config
+        self.dino: GroundingDino = build_dino(
+            cfg.dino_name,
+            seed=cfg.seed,
+            box_threshold=cfg.box_threshold,
+            text_threshold=cfg.text_threshold,
+        )
+        self.sam: Sam = build_sam(cfg.sam_name, seed=cfg.seed, analytic=AnalyticMaskHead(band_k=cfg.band_k))
+        self.predictor = SamPredictor(self.sam)
+        self.profiler = StageProfiler()
+
+    # -- adaptation -----------------------------------------------------------
+
+    def adapt(self, image) -> tuple[np.ndarray, np.ndarray]:
+        """Run both adaptation branches; returns (detector_img, segmenter_img)."""
+        cfg = self.config
+        raw = image.pixels if isinstance(image, ScientificImage) else np.asarray(image)
+        if raw.ndim == 3:
+            raw = raw.mean(axis=2)
+        with self.profiler.stage("adapt.normalize"):
+            base = robust_normalize(raw)
+        with self.profiler.stage("adapt.denoise"):
+            den = denoise_bilateral(
+                base, sigma_spatial=cfg.denoise_sigma_spatial, sigma_range=cfg.denoise_sigma_range
+            )
+        if cfg.flatfield:
+            with self.profiler.stage("adapt.flatfield"):
+                den = flatfield_correct(den, sigma=cfg.flatfield_sigma)
+        with self.profiler.stage("adapt.detector_branch"):
+            det_img = clahe(den, tiles=cfg.clahe_tiles, clip_limit=cfg.clahe_clip)
+        with self.profiler.stage("adapt.segmenter_branch"):
+            seg_img = unsharp_mask(den, amount=cfg.unsharp_amount, sigma=cfg.unsharp_sigma)
+        return det_img, seg_img
+
+    # -- grounding -------------------------------------------------------------
+
+    def ground(self, detector_img: np.ndarray, prompt: str) -> Detection:
+        """Text → boxes/relevance on the detector-branch image."""
+        with self.profiler.stage("dino.ground"):
+            det = self.dino.ground(detector_img, prompt)
+        if self.config.strict_grounding and det.n_boxes == 0:
+            raise GroundingError(
+                f"prompt {prompt!r} grounded no regions "
+                f"(ungrounded words: {list(det.ungrounded)})"
+            )
+        return det
+
+    # -- grounded mask selection -------------------------------------------------
+
+    def _select_mask(
+        self,
+        hyps: list[MaskHypothesis],
+        relevance: np.ndarray,
+        box: np.ndarray,
+    ) -> tuple[MaskHypothesis, float] | None:
+        """Pick the hypothesis most consistent with the relevance map.
+
+        Score = (mean relevance inside the mask) × √(fraction of the mask in
+        the dilated high-relevance region) × √(coverage of the box's
+        high-relevance pixels).  Returns None when every hypothesis is empty.
+        """
+        cfg = self.config
+        hi = relevance >= cfg.box_threshold
+        x0, y0, x1, y1 = (int(box[0]), int(box[1]), int(np.ceil(box[2])), int(np.ceil(box[3])))
+        hi_box = np.zeros_like(hi)
+        hi_box[max(y0, 0) : y1, max(x0, 0) : x1] = hi[max(y0, 0) : y1, max(x0, 0) : x1]
+        n_hi = max(int(hi_box.sum()), 1)
+        hi_dilated = binary_dilation(hi, iterations=2)
+        best: tuple[MaskHypothesis, float] | None = None
+        for hyp in hyps:
+            m = hyp.mask
+            n = int(m.sum())
+            if n == 0:
+                continue
+            score = (
+                float(relevance[m].mean())
+                * float(np.sqrt((m & hi_dilated).sum() / n))
+                * float(np.sqrt((m & hi_box).sum() / n_hi))
+            )
+            if best is None or score > best[1]:
+                best = (hyp, score)
+        return best
+
+    def segment_with_boxes(
+        self,
+        segmenter_img: np.ndarray,
+        detection: Detection,
+        boxes: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, list[np.ndarray], list[str]]:
+        """Box prompts → grounded-selected masks → gated union."""
+        cfg = self.config
+        use_boxes = detection.boxes if boxes is None else boxes
+        with self.profiler.stage("sam.set_image"):
+            self.predictor.set_image(segmenter_img)
+        ctx = self.predictor.analytic_context
+        union = np.zeros(segmenter_img.shape, dtype=bool)
+        per_box_masks: list[np.ndarray] = []
+        per_box_kinds: list[str] = []
+        with self.profiler.stage("sam.box_prompts"):
+            for box in use_boxes:
+                hyps = self.sam.analytic.masks_from_box(ctx, box)
+                # Keep the transformer path exercised (tokens/logits exposed
+                # on the predictor) while the analytic head picks the mask.
+                self.predictor.predict(box=box, multimask_output=True)
+                picked = self._select_mask(hyps, detection.relevance, box)
+                if picked is None or picked[1] <= cfg.selection_floor:
+                    continue
+                per_box_masks.append(picked[0].mask)
+                per_box_kinds.append(picked[0].kind)
+                union |= picked[0].mask
+        with self.profiler.stage("gate.relevance"):
+            if cfg.gate_dilation > 0:
+                gate = binary_dilation(detection.relevance >= cfg.box_threshold, iterations=cfg.gate_dilation)
+                union &= gate
+        return union, per_box_masks, per_box_kinds
+
+    # -- public API ---------------------------------------------------------------
+
+    def segment_image(
+        self,
+        image,
+        prompt: str | TextPrompt,
+        *,
+        hints: SpatialHints | None = None,
+    ) -> SliceResult:
+        """Mode A: segment a single image/slice from a text prompt.
+
+        ``hints`` adds user boxes (appended to DINO's) and points (each
+        positive point contributes its best SAM mask to the union).
+        """
+        text = prompt.text if isinstance(prompt, TextPrompt) else str(prompt)
+        det_img, seg_img = self.adapt(image)
+        detection = self.ground(det_img, text)
+        boxes = detection.boxes
+        if hints is not None and hints.boxes:
+            user_boxes = np.stack(hints.validated_boxes(seg_img.shape))
+            boxes = np.concatenate([boxes, user_boxes], axis=0) if len(boxes) else user_boxes
+        mask, per_box, kinds = self.segment_with_boxes(seg_img, detection, boxes)
+        if hints is not None and hints.has_points:
+            coords, labels = hints.point_arrays()
+            with self.profiler.stage("sam.point_prompts"):
+                masks, _, _ = self.predictor.predict(
+                    point_coords=coords, point_labels=labels, multimask_output=False
+                )
+            mask = mask | masks[0]
+        return SliceResult(
+            mask=mask,
+            detection=detection,
+            per_box_masks=tuple(per_box),
+            per_box_kinds=tuple(kinds),
+            prompt=text,
+            profiler=self.profiler,
+            metadata={"n_user_boxes": 0 if hints is None else len(hints.boxes)},
+        )
+
+    def segment_volume(
+        self,
+        volume,
+        prompt: str | TextPrompt,
+        *,
+        temporal: bool = True,
+    ) -> VolumeResult:
+        """Mode B: segment every slice with optional temporal box refinement."""
+        text = prompt.text if isinstance(prompt, TextPrompt) else str(prompt)
+        voxels = volume.voxels if isinstance(volume, ScientificVolume) else np.asarray(volume)
+        if voxels.ndim != 3:
+            raise GroundingError(f"segment_volume expects a 3-D volume, got shape {voxels.shape}")
+        n = voxels.shape[0]
+
+        adapted = []
+        detections: list[Detection] = []
+        for z in range(n):
+            det_img, seg_img = self.adapt(voxels[z])
+            detection = self.ground(det_img, text)
+            adapted.append((det_img, seg_img))
+            detections.append(detection)
+
+        report = RefinementReport(n_slices=n)
+        per_slice_boxes = [d.boxes for d in detections]
+        if temporal:
+            with self.profiler.stage("temporal.refine"):
+                per_slice_boxes, report = refine_box_sequences(
+                    per_slice_boxes, self.config.temporal, image_shape=voxels.shape[1:]
+                )
+
+        slice_results: list[SliceResult] = []
+        masks = np.zeros(voxels.shape, dtype=bool)
+        for z in range(n):
+            _, seg_img = adapted[z]
+            mask, per_box, kinds = self.segment_with_boxes(seg_img, detections[z], per_slice_boxes[z])
+            masks[z] = mask
+            slice_results.append(
+                SliceResult(
+                    mask=mask,
+                    detection=detections[z],
+                    per_box_masks=tuple(per_box),
+                    per_box_kinds=tuple(kinds),
+                    prompt=text,
+                    profiler=self.profiler,
+                    metadata={"slice": z},
+                )
+            )
+        return VolumeResult(
+            masks=masks,
+            slice_results=tuple(slice_results),
+            prompt=text,
+            refinement_report=report.as_dict(),
+            profiler=self.profiler,
+        )

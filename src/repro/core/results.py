@@ -1,0 +1,75 @@
+"""Result containers for slice- and volume-level segmentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..models.dino import Detection
+from ..utils.timing import StageProfiler
+from .masks import rle_encode
+
+__all__ = ["SliceResult", "VolumeResult"]
+
+
+@dataclass(frozen=True)
+class SliceResult:
+    """Segmentation output for one image/slice."""
+
+    mask: np.ndarray  # (H, W) bool — the predicted target phase
+    detection: Detection  # the grounding stage output (boxes, relevance)
+    per_box_masks: tuple[np.ndarray, ...] = ()  # mask chosen for each box
+    per_box_kinds: tuple[str, ...] = ()  # analytic hypothesis kind per box
+    prompt: str = ""
+    profiler: StageProfiler = field(default_factory=StageProfiler, repr=False)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_boxes(self) -> int:
+        return self.detection.n_boxes
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the image covered by the predicted mask."""
+        return float(self.mask.mean())
+
+    def to_record(self) -> dict:
+        """JSON-safe export (mask as RLE) for the platform API."""
+        return {
+            "prompt": self.prompt,
+            "mask_rle": rle_encode(self.mask),
+            "boxes": self.detection.boxes.tolist(),
+            "box_scores": self.detection.scores.tolist(),
+            "phrases": list(self.detection.phrases),
+            "coverage": self.coverage,
+            "metadata": dict(self.metadata),
+        }
+
+
+@dataclass(frozen=True)
+class VolumeResult:
+    """Segmentation output for a volume (Mode B)."""
+
+    masks: np.ndarray  # (Z, H, W) bool
+    slice_results: tuple[SliceResult, ...]
+    prompt: str = ""
+    refinement_report: dict = field(default_factory=dict)
+    profiler: StageProfiler = field(default_factory=StageProfiler, repr=False)
+
+    def __post_init__(self):
+        if self.masks.ndim != 3:
+            raise ValidationError(f"masks must be (Z, H, W), got shape {self.masks.shape}")
+        if len(self.slice_results) != self.masks.shape[0]:
+            raise ValidationError(
+                f"{len(self.slice_results)} slice results for {self.masks.shape[0]} slices"
+            )
+
+    @property
+    def n_slices(self) -> int:
+        return int(self.masks.shape[0])
+
+    def volume_fraction(self) -> float:
+        """Segmented-phase volume fraction (a materials-science deliverable)."""
+        return float(self.masks.mean())

@@ -1,0 +1,26 @@
+"""Scientific-image containers, synthetic FIB-SEM generation, benchmark dataset."""
+
+from .datasets import AnnotatedSlice, BenchmarkDataset, make_benchmark_dataset, make_sample
+from .image import MODALITIES, ScientificImage, infer_bit_depth
+from .synthesis import (
+    CATALYST_KINDS,
+    FibsemConfig,
+    FibsemSample,
+    synthesize_fibsem_volume,
+)
+from .volume import ScientificVolume
+
+__all__ = [
+    "AnnotatedSlice",
+    "BenchmarkDataset",
+    "CATALYST_KINDS",
+    "FibsemConfig",
+    "FibsemSample",
+    "MODALITIES",
+    "ScientificImage",
+    "ScientificVolume",
+    "infer_bit_depth",
+    "make_benchmark_dataset",
+    "make_sample",
+    "synthesize_fibsem_volume",
+]

@@ -1,0 +1,141 @@
+"""The :class:`ScientificImage` container.
+
+Raw scientific images differ from web imagery in precisely the ways that
+break foundation models: extreme bit depths (8/16/32), single-channel
+grayscale, physical pixel sizes, and acquisition metadata that downstream
+stages must not lose.  ``ScientificImage`` wraps the pixel array with this
+provenance, and every transform in :mod:`repro.adapt` returns a new container
+so fidelity is auditable end-to-end (paper contribution #2: "while preserving
+data fidelity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import ensure_ndarray
+
+__all__ = ["ScientificImage", "Modality", "infer_bit_depth", "MODALITIES"]
+
+#: Imaging modalities the platform recognises.  The paper validates FIB-SEM
+#: and names cryoTEM/microCT as sibling modalities; XRD/STM/EDX are listed as
+#: future extensions and are accepted here so the readiness scorer can reason
+#: about them.
+MODALITIES = ("fibsem", "cryotem", "microct", "sem", "xrd", "stm", "edx", "optical", "unknown")
+
+Modality = str
+
+
+def infer_bit_depth(array: np.ndarray) -> int:
+    """Infer the nominal bit depth of an image array from its dtype."""
+    dt = array.dtype
+    if dt == np.uint8:
+        return 8
+    if dt == np.uint16:
+        return 16
+    if dt in (np.uint32, np.int32):
+        return 32
+    if dt in (np.float32, np.float64):
+        return 32
+    raise ValidationError(f"cannot infer bit depth for dtype {dt}")
+
+
+@dataclass(frozen=True)
+class ScientificImage:
+    """A single 2-D scientific image plus acquisition provenance.
+
+    Attributes
+    ----------
+    pixels:
+        ``(H, W)`` grayscale or ``(H, W, 3)`` RGB array; any of uint8/uint16/
+        uint32/float32/float64.
+    modality:
+        One of :data:`MODALITIES`.
+    pixel_size_nm:
+        Physical size of one pixel, (y, x) in nanometres, or ``None``.
+    bit_depth:
+        Nominal acquisition bit depth; inferred from dtype when omitted.
+    metadata:
+        Free-form acquisition metadata (instrument, dwell time, ...).
+    history:
+        Names of the adaptation steps applied so far, oldest first.
+    """
+
+    pixels: np.ndarray
+    modality: Modality = "unknown"
+    pixel_size_nm: tuple[float, float] | None = None
+    bit_depth: int | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+    history: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        arr = ensure_ndarray(self.pixels, "pixels")
+        if arr.ndim not in (2, 3) or (arr.ndim == 3 and arr.shape[2] not in (3, 4)):
+            raise ValidationError(f"pixels must be HxW or HxWx3/4, got shape {arr.shape}")
+        if self.modality not in MODALITIES:
+            raise ValidationError(f"unknown modality {self.modality!r}; expected one of {MODALITIES}")
+        object.__setattr__(self, "pixels", arr)
+        if self.bit_depth is None:
+            object.__setattr__(self, "bit_depth", infer_bit_depth(arr))
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.pixels.shape
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    @property
+    def is_rgb(self) -> bool:
+        return self.pixels.ndim == 3
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.pixels.dtype
+
+    # -- transforms ---------------------------------------------------------
+
+    def with_pixels(self, pixels: np.ndarray, step: str) -> "ScientificImage":
+        """Return a copy with new pixel data and ``step`` appended to history."""
+        return replace(self, pixels=np.asarray(pixels), bit_depth=None, history=self.history + (step,))
+
+    def as_float(self) -> np.ndarray:
+        """Pixels as float32 scaled to [0, 1] by the dtype's nominal range.
+
+        Float inputs are assumed pre-scaled and are only clipped.
+        """
+        arr = self.pixels
+        if arr.dtype == np.uint8:
+            return arr.astype(np.float32) / 255.0
+        if arr.dtype == np.uint16:
+            return arr.astype(np.float32) / 65535.0
+        if arr.dtype in (np.uint32, np.int32):
+            return (arr.astype(np.float64) / 4294967295.0).astype(np.float32)
+        return np.clip(arr.astype(np.float32), 0.0, 1.0)
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-safe summary used by the platform's preview endpoint."""
+        arr = self.pixels
+        finite = arr[np.isfinite(arr)] if np.issubdtype(arr.dtype, np.floating) else arr
+        return {
+            "shape": list(arr.shape),
+            "dtype": str(arr.dtype),
+            "bit_depth": self.bit_depth,
+            "modality": self.modality,
+            "pixel_size_nm": list(self.pixel_size_nm) if self.pixel_size_nm else None,
+            "min": float(finite.min()) if finite.size else None,
+            "max": float(finite.max()) if finite.size else None,
+            "mean": float(finite.mean()) if finite.size else None,
+            "history": list(self.history),
+        }

@@ -1,0 +1,153 @@
+"""Additional imaging modalities (paper: future work #1 — XRD, STM, EDX).
+
+The paper plans to extend Zenesis beyond FIB-SEM to X-ray diffraction,
+scanning tunnelling microscopy, and energy-dispersive X-ray spectroscopy.
+These generators provide synthetic instances of each, with ground truth, so
+the zero-shot pipeline can be exercised (and regression-tested) on them:
+
+* **XRD** — 2-D Debye-Scherrer patterns: bright diffraction rings on a dark
+  detector, a beamstop shadow, shot noise.  Target: the ring system.
+* **STM** — constant-current topographs: atomic corrugation on stepped
+  terraces with scan-line noise and bright adsorbates.  Target: adsorbates.
+* **EDX** — elemental count maps at brutally low dose: particles of the
+  analyte element in a matrix.  Target: the analyte-rich phase.
+
+All outputs mirror the FIB-SEM generator's contract: a
+:class:`~repro.data.image.ScientificImage` (realistic dtype/range) plus a
+boolean ground-truth mask, deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from ...utils.rng import spawn_rng
+from ..image import ScientificImage
+from .shapes import raster_blob, smooth_noise_1d
+
+__all__ = ["synthesize_xrd_pattern", "synthesize_stm_topography", "synthesize_edx_map"]
+
+
+def synthesize_xrd_pattern(
+    *,
+    shape: tuple[int, int] = (256, 256),
+    n_rings: int = 5,
+    ring_width_px: float = 2.5,
+    dose: float = 200.0,
+    seed: int = 0,
+) -> tuple[ScientificImage, np.ndarray]:
+    """A 2-D powder-diffraction pattern.  Returns (image, ring mask)."""
+    rng = spawn_rng(seed, "xrd")
+    h, w = shape
+    cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+    yy, xx = np.mgrid[0:h, 0:w]
+    r = np.hypot(yy - cy, xx - cx)
+
+    signal = np.full(shape, 0.015, dtype=np.float64)
+    gt = np.zeros(shape, dtype=bool)
+    max_r = min(h, w) / 2.0
+    radii = np.sort(rng.uniform(0.2, 0.95, n_rings)) * max_r
+    for radius in radii:
+        strength = rng.uniform(0.35, 0.9)
+        width = ring_width_px * rng.uniform(0.8, 1.4)
+        profile = np.exp(-((r - radius) ** 2) / (2.0 * width**2))
+        # Texture: intensity varies around the ring (preferred orientation).
+        theta = np.arctan2(yy - cy, xx - cx)
+        tex = 1.0 + 0.3 * np.cos(2 * theta + rng.uniform(0, np.pi))
+        signal += strength * profile * tex
+        gt |= np.abs(r - radius) <= 1.5 * width
+    # Central beam + beamstop shadow.
+    signal += 1.2 * np.exp(-(r**2) / (2.0 * 6.0**2))
+    beamstop = r < 10
+    signal[beamstop] *= 0.05
+    gt &= ~beamstop
+
+    signal = np.clip(signal, 0.0, 1.0)
+    counts = rng.poisson(signal * dose).astype(np.float64) / dose
+    pixels = np.round(np.clip(counts, 0, 1) * 65535).astype(np.uint16)
+    image = ScientificImage(pixels, modality="xrd", metadata={"synthetic": True, "seed": seed})
+    return image, gt
+
+
+def synthesize_stm_topography(
+    *,
+    shape: tuple[int, int] = (256, 256),
+    lattice_px: float = 8.0,
+    n_terraces: int = 4,
+    n_adsorbates: int = 12,
+    scanline_noise: float = 0.02,
+    seed: int = 0,
+) -> tuple[ScientificImage, np.ndarray]:
+    """A constant-current STM topograph.  Returns (image, adsorbate mask)."""
+    rng = spawn_rng(seed, "stm")
+    h, w = shape
+    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+
+    # Stepped terraces: quantised smooth height field.
+    ramp = (xx + 0.35 * yy) / w
+    ramp += 0.06 * gaussian_filter(rng.normal(size=shape), 18)
+    terraces = np.floor(ramp * n_terraces) / n_terraces
+
+    # Atomic corrugation: hexagonal-ish superposition of plane waves.
+    k = 2 * np.pi / lattice_px
+    lattice = (
+        np.cos(k * xx)
+        + np.cos(k * (0.5 * xx + 0.866 * yy))
+        + np.cos(k * (0.5 * xx - 0.866 * yy))
+    ) / 6.0
+
+    height = 0.55 * terraces + 0.08 * lattice + 0.3
+    gt = np.zeros(shape, dtype=bool)
+    for i in range(n_adsorbates):
+        raster_blob(
+            shape,
+            (rng.uniform(8, h - 8), rng.uniform(8, w - 8)),
+            radius=rng.uniform(3.0, 6.0),
+            rng=spawn_rng(seed, "ads", i),
+            irregularity=0.2,
+            out=gt,
+        )
+    height[gt] += 0.22  # adsorbates protrude
+
+    # Scan-line noise: per-row offsets (the classic STM artifact).
+    rows = smooth_noise_1d(h, spawn_rng(seed, "rows"), n_modes=24, amplitude=scanline_noise)
+    height += rows[:, None]
+    height = np.clip(height + rng.normal(scale=0.01, size=shape), 0.0, 1.0)
+    pixels = np.round(height * 4294967295.0).astype(np.uint32)  # 32-bit Z piezo data
+    image = ScientificImage(pixels, modality="stm", metadata={"synthetic": True, "seed": seed})
+    return image, gt
+
+
+def synthesize_edx_map(
+    *,
+    shape: tuple[int, int] = (256, 256),
+    n_particles: int = 14,
+    counts_in: float = 9.0,
+    counts_out: float = 1.2,
+    seed: int = 0,
+) -> tuple[ScientificImage, np.ndarray]:
+    """An elemental count map (analyte channel).  Returns (image, phase mask).
+
+    EDX maps are Poisson counts with single-digit means — the extreme
+    low-SNR end of the data-readiness spectrum.
+    """
+    rng = spawn_rng(seed, "edx")
+    h, w = shape
+    gt = np.zeros(shape, dtype=bool)
+    for i in range(n_particles):
+        raster_blob(
+            shape,
+            (rng.uniform(10, h - 10), rng.uniform(10, w - 10)),
+            radius=rng.uniform(6.0, 18.0),
+            rng=spawn_rng(seed, "particle", i),
+            irregularity=0.35,
+            out=gt,
+        )
+    expectation = np.where(gt, counts_in, counts_out).astype(np.float64)
+    # Beam spread blurs composition boundaries slightly.
+    expectation = gaussian_filter(expectation, 1.2)
+    counts = rng.poisson(expectation)
+    pixels = np.clip(counts, 0, 255).astype(np.uint8)  # vendor 8-bit count maps
+    image = ScientificImage(pixels, modality="edx", metadata={"synthetic": True, "seed": seed})
+    return image, gt

@@ -1,0 +1,98 @@
+"""Simple analytic phantoms with exact ground truth.
+
+These are the unit-test workhorses: scenes whose correct segmentation is
+known in closed form, so model/pipeline tests can assert quantitative
+behaviour without depending on the full FIB-SEM generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import as_rng
+from .shapes import raster_needle
+
+__all__ = ["disk_phantom", "two_phase_phantom", "needles_phantom", "checkerboard"]
+
+
+def disk_phantom(
+    shape: tuple[int, int] = (96, 96),
+    *,
+    center: tuple[float, float] | None = None,
+    radius: float = 20.0,
+    fg: float = 0.8,
+    bg: float = 0.2,
+    noise: float = 0.0,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A bright disk on a dark background.  Returns (image, gt_mask)."""
+    h, w = shape
+    cy, cx = center if center is not None else ((h - 1) / 2.0, (w - 1) / 2.0)
+    yy, xx = np.mgrid[0:h, 0:w]
+    mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= radius**2
+    img = np.full(shape, bg, dtype=np.float64)
+    img[mask] = fg
+    if noise > 0:
+        img += as_rng(rng).normal(scale=noise, size=shape)
+    return np.clip(img, 0.0, 1.0), mask
+
+
+def two_phase_phantom(
+    shape: tuple[int, int] = (96, 96),
+    *,
+    split_row: int | None = None,
+    top: float = 0.05,
+    bottom: float = 0.6,
+    noise: float = 0.0,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A dark band over a bright band (the Otsu trap in miniature).
+
+    Returns (image, mask-of-bottom-band).
+    """
+    h, w = shape
+    split = split_row if split_row is not None else h // 2
+    img = np.full(shape, top, dtype=np.float64)
+    img[split:] = bottom
+    mask = np.zeros(shape, dtype=bool)
+    mask[split:] = True
+    if noise > 0:
+        img += as_rng(rng).normal(scale=noise, size=shape)
+    return np.clip(img, 0.0, 1.0), mask
+
+
+def needles_phantom(
+    shape: tuple[int, int] = (128, 128),
+    *,
+    n: int = 8,
+    fg: float = 0.7,
+    bg: float = 0.4,
+    noise: float = 0.0,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random needles on a uniform background.  Returns (image, gt_mask)."""
+    rng = as_rng(rng)
+    h, w = shape
+    mask = np.zeros(shape, dtype=bool)
+    for _ in range(n):
+        raster_needle(
+            shape,
+            (rng.uniform(0.15 * h, 0.85 * h), rng.uniform(0.15 * w, 0.85 * w)),
+            length=rng.uniform(0.15 * min(h, w), 0.35 * min(h, w)),
+            width=rng.uniform(2.5, 5.0),
+            angle_rad=rng.uniform(0, np.pi),
+            out=mask,
+        )
+    img = np.full(shape, bg, dtype=np.float64)
+    img[mask] = fg
+    if noise > 0:
+        img += rng.normal(scale=noise, size=shape)
+    return np.clip(img, 0.0, 1.0), mask
+
+
+def checkerboard(shape: tuple[int, int] = (64, 64), *, cell: int = 8, lo: float = 0.2, hi: float = 0.8) -> np.ndarray:
+    """A checkerboard intensity pattern (texture-feature test input)."""
+    h, w = shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    board = ((yy // cell) + (xx // cell)) % 2
+    return np.where(board == 1, hi, lo).astype(np.float64)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro (Zenesis reproduction) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one clause while still discriminating on the
+specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, or enum value)."""
+
+
+class FormatError(ReproError, ValueError):
+    """A byte stream is not a valid instance of the declared file format."""
+
+
+class CodecError(FormatError):
+    """A file is syntactically valid but uses an unsupported encoding."""
+
+
+class ModelConfigError(ReproError, ValueError):
+    """A model was constructed with an inconsistent configuration."""
+
+
+class PromptError(ReproError, ValueError):
+    """A segmentation prompt is malformed or inconsistent with the image."""
+
+
+class PipelineError(ReproError, RuntimeError):
+    """A pipeline stage failed in a way that invalidates downstream stages."""
+
+
+class GroundingError(PipelineError):
+    """The grounding stage produced no usable boxes for the given prompt."""
+
+
+class EvaluationError(ReproError, RuntimeError):
+    """Metric evaluation was requested on incompatible inputs."""
+
+
+class ParallelError(ReproError, RuntimeError):
+    """A parallel-execution primitive failed (pool, shared memory, scheduler)."""
+
+
+class SessionError(ReproError, RuntimeError):
+    """A platform session was driven through an invalid state transition."""

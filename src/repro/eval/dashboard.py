@@ -1,0 +1,80 @@
+"""The evaluation dashboard (paper Fig. 8), rendered as standalone HTML.
+
+The real platform shows per-sample and dataset-level metric cards with bar
+charts; this renderer produces the same content as a self-contained HTML
+document (inline CSS, no external assets) that the platform's Mode C
+endpoint serves and the Fig. 8 bench writes to disk.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Mapping
+
+from .evaluator import ALL_METRICS, PAPER_METRICS, MethodEvaluation
+
+__all__ = ["render_dashboard"]
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2em; background: #fafafa; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.8em 0; background: #fff; }
+th, td { border: 1px solid #ccc; padding: 0.35em 0.8em; text-align: right; }
+th { background: #eee; } td.name { text-align: left; }
+.bar { display: inline-block; height: 0.8em; background: #4a90d9; vertical-align: middle; }
+.cards { display: flex; gap: 1em; flex-wrap: wrap; }
+.card { background: #fff; border: 1px solid #ddd; border-radius: 6px; padding: 0.8em 1.2em; }
+.card .value { font-size: 1.6em; font-weight: 600; }
+.small { color: #777; font-size: 0.85em; }
+"""
+
+
+def _bar(value: float, scale: float = 120.0) -> str:
+    width = max(0.0, min(1.0, value)) * scale
+    return f'<span class="bar" style="width:{width:.0f}px"></span>'
+
+
+def _method_section(name: str, ev: MethodEvaluation) -> list[str]:
+    parts = [f"<h2>Method: {html.escape(name)}</h2>"]
+    # Dataset-level cards.
+    parts.append('<div class="cards">')
+    for kind in ev.kinds():
+        summary = ev.summary(kind, PAPER_METRICS)
+        cells = "".join(
+            f"<div><span class='small'>{m}</span><div class='value'>{summary[m].mean:.3f}</div>"
+            f"<span class='small'>±{summary[m].std:.3f}</span></div>"
+            for m in PAPER_METRICS
+        )
+        parts.append(
+            f"<div class='card'><b>{html.escape(kind)}</b> "
+            f"<span class='small'>({summary['iou'].count} slices)</span>{cells}</div>"
+        )
+    parts.append("</div>")
+    # Per-sample table.
+    parts.append("<table><tr><th>sample</th>" + "".join(f"<th>{m}</th>" for m in ALL_METRICS) + "<th>iou</th></tr>")
+    for s in ev.samples:
+        row = f"<tr><td class='name'>{html.escape(s.sample_name)}</td>"
+        row += "".join(f"<td>{s.metrics[m]:.3f}</td>" for m in ALL_METRICS)
+        row += f"<td>{_bar(s.metrics['iou'])}</td></tr>"
+        parts.append(row)
+    parts.append("</table>")
+    parts.append(f"<p class='small'>mean wall time per slice: {ev.mean_wall_s():.3f}s</p>")
+    return parts
+
+
+def render_dashboard(
+    evaluations: Mapping[str, MethodEvaluation],
+    *,
+    title: str = "Zenesis Evaluation Dashboard",
+) -> str:
+    """Render all evaluated methods into one HTML document."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<p class='small'>accuracy / IoU / Dice at sample and dataset granularity (paper Fig. 8)</p>",
+    ]
+    for name, ev in evaluations.items():
+        parts.extend(_method_section(name, ev))
+    parts.append("</body></html>")
+    return "".join(parts)

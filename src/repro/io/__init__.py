@@ -1,0 +1,32 @@
+"""From-scratch image/volume codecs and format sniffing (TIFF, PNG, npz)."""
+
+from .annotations import export_annotations, import_annotations
+from .formats import KNOWN_FORMATS, load_image_file, sniff_format
+from .png import decode_png, encode_png, read_png, write_png
+from .tiff import TiffPageInfo, read_tiff, read_tiff_pages, write_tiff
+from .volume_io import (
+    export_volume_tiff,
+    import_volume_tiff,
+    load_volume_bundle,
+    save_volume_bundle,
+)
+
+__all__ = [
+    "KNOWN_FORMATS",
+    "TiffPageInfo",
+    "decode_png",
+    "encode_png",
+    "export_annotations",
+    "import_annotations",
+    "export_volume_tiff",
+    "import_volume_tiff",
+    "load_image_file",
+    "load_volume_bundle",
+    "read_png",
+    "read_tiff",
+    "read_tiff_pages",
+    "save_volume_bundle",
+    "sniff_format",
+    "write_png",
+    "write_tiff",
+]

@@ -1,0 +1,89 @@
+"""COCO-style annotation export/import for segmentation results.
+
+Lets masks produced here flow into the wider SAM tooling ecosystem: the
+export is a single JSON document with ``images``, ``annotations`` (RLE
+segmentation + XYXY bbox + area), and ``categories`` — the subset of the
+COCO schema mask consumers rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..core.boxes import mask_to_box
+from ..core.masks import rle_decode, rle_encode
+from ..errors import FormatError
+
+__all__ = ["export_annotations", "import_annotations"]
+
+_SCHEMA_NOTE = "repro-zenesis-annotations-v1"
+
+
+def export_annotations(
+    path,
+    masks: dict[str, np.ndarray] | list[np.ndarray],
+    *,
+    image_name: str = "image",
+    category: str = "catalyst",
+    metadata: dict | None = None,
+) -> dict:
+    """Write masks as a COCO-style JSON document; returns the document.
+
+    ``masks`` is either {annotation_name: mask} or a list of masks (named
+    ``region_<i>``).  All masks must share one shape (one image).
+    """
+    if isinstance(masks, list):
+        masks = {f"region_{i}": m for i, m in enumerate(masks)}
+    if not masks:
+        raise FormatError("export_annotations needs at least one mask")
+    shapes = {np.asarray(m).shape for m in masks.values()}
+    if len(shapes) != 1:
+        raise FormatError(f"masks must share one shape, got {sorted(shapes)}")
+    h, w = shapes.pop()
+
+    annotations = []
+    for i, (name, mask) in enumerate(masks.items(), start=1):
+        m = np.asarray(mask, dtype=bool)
+        bbox = mask_to_box(m)
+        annotations.append(
+            {
+                "id": i,
+                "image_id": 1,
+                "category_id": 1,
+                "name": name,
+                "segmentation": rle_encode(m),
+                "bbox": bbox.tolist() if bbox is not None else None,
+                "area": int(m.sum()),
+                "iscrowd": 0,
+            }
+        )
+    document = {
+        "info": {"description": _SCHEMA_NOTE, **(metadata or {})},
+        "images": [{"id": 1, "file_name": image_name, "height": int(h), "width": int(w)}],
+        "categories": [{"id": 1, "name": category}],
+        "annotations": annotations,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    return document
+
+
+def import_annotations(path) -> dict[str, np.ndarray]:
+    """Read a document written by :func:`export_annotations`; returns
+    {annotation_name: boolean mask}."""
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    try:
+        annotations = document["annotations"]
+    except (TypeError, KeyError) as exc:
+        raise FormatError(f"{path!r} is not an annotation document") from exc
+    out: dict[str, np.ndarray] = {}
+    for i, ann in enumerate(annotations):
+        try:
+            mask = rle_decode(ann["segmentation"])
+        except (KeyError, TypeError) as exc:
+            raise FormatError(f"annotation {i} has no valid RLE segmentation") from exc
+        out[ann.get("name", f"region_{i}")] = mask
+    return out

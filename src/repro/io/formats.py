@@ -1,0 +1,62 @@
+"""File-format sniffing for the no-code upload path.
+
+The platform accepts whatever the instrument produced; this module decides
+which codec to dispatch to by inspecting magic bytes, never the extension
+(FIB-SEM exports are notorious for ``.dat`` files that are really TIFFs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import FormatError
+from .png import PNG_SIGNATURE, read_png
+from .tiff import read_tiff
+
+__all__ = ["sniff_format", "load_image_file", "KNOWN_FORMATS"]
+
+KNOWN_FORMATS = ("tiff", "png", "npy", "npz")
+
+_NPY_MAGIC = b"\x93NUMPY"
+_ZIP_MAGIC = b"PK\x03\x04"
+
+
+def sniff_format(path) -> str:
+    """Identify a file's format from its magic bytes.
+
+    Returns one of :data:`KNOWN_FORMATS`; raises :class:`FormatError` for
+    unrecognised content.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(8)
+    if head[:4] in (b"II*\x00", b"MM\x00*"):
+        return "tiff"
+    if head == PNG_SIGNATURE:
+        return "png"
+    if head.startswith(_NPY_MAGIC):
+        return "npy"
+    if head.startswith(_ZIP_MAGIC):
+        return "npz"
+    raise FormatError(f"unrecognised image format in {os.fspath(path)!r} (magic {head[:4]!r})")
+
+
+def load_image_file(path) -> np.ndarray:
+    """Load any supported image/volume file into an ndarray."""
+    fmt = sniff_format(path)
+    if fmt == "tiff":
+        return read_tiff(path)
+    if fmt == "png":
+        return read_png(path)
+    if fmt == "npy":
+        return np.load(path, allow_pickle=False)
+    if fmt == "npz":
+        with np.load(path, allow_pickle=False) as bundle:
+            keys = list(bundle.keys())
+            if len(keys) != 1:
+                raise FormatError(
+                    f"npz file {os.fspath(path)!r} holds {len(keys)} arrays; expected exactly one"
+                )
+            return bundle[keys[0]]
+    raise FormatError(f"no loader for format {fmt!r}")  # pragma: no cover - sniff covers all

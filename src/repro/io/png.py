@@ -1,0 +1,175 @@
+"""A from-scratch PNG codec on top of stdlib :mod:`zlib`.
+
+Scope: the subset of PNG that scientific grayscale/RGB data needs —
+bit depths 8 and 16; color types grayscale (0), RGB (2), and RGBA (6);
+non-interlaced.  The encoder emits filter type 0 (None) rows for simplicity
+and determinism; the decoder understands all five standard filters so files
+from other writers load too.
+
+PNG is big-endian for 16-bit samples; arrays round-trip with native dtypes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from ..errors import CodecError, FormatError, ValidationError
+
+__all__ = ["write_png", "read_png", "encode_png", "decode_png", "PNG_SIGNATURE"]
+
+PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+_COLOR_GRAY = 0
+_COLOR_RGB = 2
+_COLOR_RGBA = 6
+_CHANNELS = {_COLOR_GRAY: 1, _COLOR_RGB: 3, _COLOR_RGBA: 4}
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def _classify(image: np.ndarray) -> tuple[int, int, np.ndarray]:
+    """Return (color_type, bit_depth, normalised array) for ``image``."""
+    arr = np.asarray(image)
+    if arr.ndim == 2:
+        color = _COLOR_GRAY
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        color = _COLOR_RGB
+    elif arr.ndim == 3 and arr.shape[2] == 4:
+        color = _COLOR_RGBA
+    else:
+        raise ValidationError(f"PNG encoder needs HxW, HxWx3 or HxWx4 array, got shape {arr.shape}")
+    if arr.dtype == np.uint8:
+        depth = 8
+    elif arr.dtype == np.uint16:
+        depth = 16
+    else:
+        raise ValidationError(f"PNG encoder needs uint8 or uint16 data, got {arr.dtype}")
+    return color, depth, arr
+
+
+def encode_png(image: np.ndarray, *, compress_level: int = 6) -> bytes:
+    """Encode an array as PNG bytes."""
+    color, depth, arr = _classify(image)
+    h, w = arr.shape[:2]
+    if depth == 16:
+        raw = arr.astype(">u2").tobytes()
+    else:
+        raw = arr.astype(np.uint8).tobytes()
+    stride = w * _CHANNELS[color] * (depth // 8)
+    # Prefix every scanline with filter byte 0 (None).
+    rows = bytearray()
+    for y in range(h):
+        rows.append(0)
+        rows += raw[y * stride : (y + 1) * stride]
+    ihdr = struct.pack(">IIBBBBB", w, h, depth, color, 0, 0, 0)
+    idat = zlib.compress(bytes(rows), compress_level)
+    return PNG_SIGNATURE + _chunk(b"IHDR", ihdr) + _chunk(b"IDAT", idat) + _chunk(b"IEND", b"")
+
+
+def write_png(path, image: np.ndarray, *, compress_level: int = 6) -> None:
+    """Write ``image`` to ``path`` as a PNG file."""
+    with open(path, "wb") as fh:
+        fh.write(encode_png(image, compress_level=compress_level))
+
+
+def _unfilter(data: bytes, h: int, w: int, channels: int, depth: int) -> np.ndarray:
+    """Reverse PNG scanline filtering (types 0-4) into a sample array."""
+    bpp = channels * (depth // 8)  # bytes per pixel
+    stride = w * bpp
+    out = np.zeros((h, stride), dtype=np.uint8)
+    pos = 0
+    prev = np.zeros(stride, dtype=np.int32)
+    for y in range(h):
+        ftype = data[pos]
+        pos += 1
+        line = np.frombuffer(data, dtype=np.uint8, count=stride, offset=pos).astype(np.int32)
+        pos += stride
+        if ftype == 0:  # None
+            cur = line
+        elif ftype == 1:  # Sub
+            cur = line.copy()
+            for i in range(bpp, stride):
+                cur[i] = (cur[i] + cur[i - bpp]) & 0xFF
+        elif ftype == 2:  # Up
+            cur = (line + prev) & 0xFF
+        elif ftype == 3:  # Average
+            cur = line.copy()
+            for i in range(stride):
+                left = cur[i - bpp] if i >= bpp else 0
+                cur[i] = (cur[i] + ((left + prev[i]) >> 1)) & 0xFF
+        elif ftype == 4:  # Paeth
+            cur = line.copy()
+            for i in range(stride):
+                a = cur[i - bpp] if i >= bpp else 0
+                b = prev[i]
+                c = prev[i - bpp] if i >= bpp else 0
+                p = a + b - c
+                pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+                pred = a if (pa <= pb and pa <= pc) else (b if pb <= pc else c)
+                cur[i] = (cur[i] + pred) & 0xFF
+        else:
+            raise CodecError(f"unknown PNG filter type {ftype}")
+        out[y] = cur.astype(np.uint8)
+        prev = cur
+    return out
+
+
+def decode_png(data: bytes) -> np.ndarray:
+    """Decode PNG bytes into a uint8/uint16 array (HxW or HxWxC)."""
+    if data[:8] != PNG_SIGNATURE:
+        raise FormatError("not a PNG: bad signature")
+    pos = 8
+    ihdr = None
+    idat = bytearray()
+    while pos + 8 <= len(data):
+        (length,) = struct.unpack(">I", data[pos : pos + 4])
+        tag = data[pos + 4 : pos + 8]
+        payload = data[pos + 8 : pos + 8 + length]
+        pos += 12 + length
+        if tag == b"IHDR":
+            ihdr = struct.unpack(">IIBBBBB", payload)
+        elif tag == b"IDAT":
+            idat += payload
+        elif tag == b"IEND":
+            break
+    if ihdr is None:
+        raise FormatError("PNG missing IHDR chunk")
+    w, h, depth, color, comp, filt, interlace = ihdr
+    if comp != 0 or filt != 0:
+        raise CodecError("unsupported PNG compression/filter method")
+    if interlace != 0:
+        raise CodecError("interlaced PNG not supported")
+    if color not in _CHANNELS:
+        raise CodecError(f"unsupported PNG color type {color}")
+    if depth not in (8, 16):
+        raise CodecError(f"unsupported PNG bit depth {depth}")
+    channels = _CHANNELS[color]
+    raw = zlib.decompress(bytes(idat))
+    expected = h * (1 + w * channels * (depth // 8))
+    if len(raw) < expected:
+        raise FormatError(f"PNG pixel data truncated: {len(raw)} < {expected}")
+    flat = _unfilter(raw, h, w, channels, depth)
+    if depth == 16:
+        arr = flat.reshape(h, -1).view(">u2").astype(np.uint16)
+        arr = arr.reshape(h, w, channels)
+    else:
+        arr = flat.reshape(h, w, channels)
+    if channels == 1:
+        arr = arr[:, :, 0]
+    return arr
+
+
+def read_png(path) -> np.ndarray:
+    """Read a PNG file into an array."""
+    with open(path, "rb") as fh:
+        return decode_png(fh.read())

@@ -1,0 +1,60 @@
+"""Persistence for annotated volumes: raw data + masks + provenance.
+
+Experiments snapshot their inputs and outputs as ``.npz`` bundles so that a
+bench re-run can verify it reproduces the exact masks; the TIFF path is used
+when interoperating with instrument software.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..errors import FormatError
+from .tiff import read_tiff, write_tiff
+
+__all__ = ["save_volume_bundle", "load_volume_bundle", "export_volume_tiff", "import_volume_tiff"]
+
+_BUNDLE_VERSION = 1
+
+
+def save_volume_bundle(path, volume: np.ndarray, masks: np.ndarray | None = None, metadata: dict | None = None) -> None:
+    """Save a volume (+ optional per-voxel masks and JSON metadata) to ``.npz``."""
+    payload = {"volume": np.asarray(volume)}
+    if masks is not None:
+        masks = np.asarray(masks)
+        if masks.shape != payload["volume"].shape:
+            raise FormatError(f"masks shape {masks.shape} != volume shape {payload['volume'].shape}")
+        payload["masks"] = masks.astype(np.uint8)
+    meta = dict(metadata or {})
+    meta["bundle_version"] = _BUNDLE_VERSION
+    payload["metadata_json"] = np.frombuffer(json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_volume_bundle(path) -> tuple[np.ndarray, np.ndarray | None, dict]:
+    """Load a bundle saved by :func:`save_volume_bundle`."""
+    with np.load(path, allow_pickle=False) as bundle:
+        if "volume" not in bundle:
+            raise FormatError(f"{path!r} is not a volume bundle (missing 'volume')")
+        volume = bundle["volume"]
+        masks = bundle["masks"].astype(bool) if "masks" in bundle else None
+        metadata: dict = {}
+        if "metadata_json" in bundle:
+            metadata = json.loads(bundle["metadata_json"].tobytes().decode("utf-8"))
+    return volume, masks, metadata
+
+
+def export_volume_tiff(path, volume: np.ndarray, *, voxel_size_nm: tuple[float, float] | None = None, compress: bool = True, description: str = "") -> None:
+    """Export a volume as a multi-page TIFF, embedding voxel size as resolution."""
+    resolution = None
+    if voxel_size_nm is not None:
+        # pixels per centimetre = 1e7 nm/cm divided by nm per pixel
+        resolution = (1e7 / voxel_size_nm[0], 1e7 / voxel_size_nm[1])
+    write_tiff(path, np.asarray(volume), compress=compress, description=description, resolution=resolution)
+
+
+def import_volume_tiff(path) -> np.ndarray:
+    """Import a multi-page TIFF stack as a 3-D array (or 2-D for one page)."""
+    return read_tiff(path)

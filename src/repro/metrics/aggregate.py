@@ -1,0 +1,94 @@
+"""Aggregation of per-sample metrics into dataset-level statistics.
+
+The paper reports "mean ± std" per sample type; this module adds bootstrap
+confidence intervals and a tidy :class:`MetricSummary` the dashboard and
+benches consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..utils.rng import as_rng
+
+__all__ = ["MetricSummary", "summarize", "summarize_records", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean ± std (plus extremes and count) for one metric over samples."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def format(self, digits: int = 3) -> str:
+        """The paper's 'mean±std' cell format."""
+        return f"{self.mean:.{digits}f}±{self.std:.{digits}f}"
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "count": self.count,
+        }
+
+
+def summarize(name: str, values: Iterable[float]) -> MetricSummary:
+    """Summary statistics over per-sample metric values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise EvaluationError(f"no values to summarise for metric {name!r}")
+    if not np.isfinite(arr).all():
+        raise EvaluationError(f"metric {name!r} contains non-finite values")
+    return MetricSummary(
+        name=name,
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+def summarize_records(records: Sequence[Mapping[str, float]], metrics: Sequence[str]) -> dict[str, MetricSummary]:
+    """Column-wise summaries over a list of per-sample metric dicts."""
+    out: dict[str, MetricSummary] = {}
+    for m in metrics:
+        try:
+            vals = [r[m] for r in records]
+        except KeyError as exc:
+            raise EvaluationError(f"record missing metric {m!r}") from exc
+        out[m] = summarize(m, vals)
+    return out
+
+
+def bootstrap_ci(
+    values: Iterable[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng=None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise EvaluationError("bootstrap_ci needs at least one value")
+    if not (0.0 < confidence < 1.0):
+        raise EvaluationError(f"confidence must be in (0, 1), got {confidence}")
+    rng = as_rng(rng)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.percentile(means, [100 * alpha, 100 * (1 - alpha)])
+    return float(lo), float(hi)

@@ -1,0 +1,56 @@
+"""CLIPSeg-style text-to-mask baseline.
+
+The related-work section cites CLIPSeg: open-vocabulary segmentation that
+decodes a text-image relevance field *directly* into a mask, with no
+promptable mask decoder behind it.  The surrogate shares the grounding
+stack with GroundingDINO (same lexicon, features, cross-modal attention)
+but skips boxes and SAM entirely: the pixel relevance map is thresholded
+and lightly cleaned.
+
+Its role here is the ablation anchor between "text grounding alone" and
+the full Zenesis pipeline — it inherits grounding's localisation but lacks
+SAM's boundary refinement, which the ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.masks import clean_mask
+from .dino import DinoConfig, GroundingDino
+from .text import ConceptLexicon
+
+__all__ = ["ClipSegConfig", "ClipSegSurrogate"]
+
+
+@dataclass(frozen=True)
+class ClipSegConfig:
+    """Threshold/cleanup parameters of the direct text-to-mask decoder."""
+
+    mask_threshold: float = 0.5
+    min_area: int = 16
+    open_radius: int = 1
+    dino: DinoConfig = DinoConfig()
+
+
+class ClipSegSurrogate:
+    """Text prompt → binary mask, straight from the relevance field."""
+
+    def __init__(self, config: ClipSegConfig | None = None, *, lexicon: ConceptLexicon | None = None) -> None:
+        self.config = config or ClipSegConfig()
+        self.grounder = GroundingDino(self.config.dino, lexicon=lexicon)
+
+    def segment(self, image: np.ndarray, prompt: str) -> np.ndarray:
+        """Binary mask for ``prompt``; empty when nothing grounds."""
+        relevance, _, _ = self.grounder.relevance_map(image, prompt)
+        binary = relevance >= self.config.mask_threshold
+        return clean_mask(
+            binary, open_radius=self.config.open_radius, close_radius=1, min_area=self.config.min_area
+        )
+
+    def heatmap(self, image: np.ndarray, prompt: str) -> np.ndarray:
+        """The raw pixel relevance in [0, 1] (the model's 'logits')."""
+        relevance, _, _ = self.grounder.relevance_map(image, prompt)
+        return relevance

@@ -1,0 +1,95 @@
+"""Multi-head scaled-dot-product attention (self and cross).
+
+Implements exactly the operator the paper writes out:
+
+    Attention(Q, K, V) = softmax(Q K^T / sqrt(d)) V
+
+with multi-head projection/recombination.  Shapes are ``(..., tokens, dim)``;
+queries and keys/values may have different token counts (cross-attention
+between text tokens and image patches is the core of GroundingDINO).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .init import ParamFactory
+from .layers import Linear, softmax
+
+__all__ = ["MultiHeadAttention", "attention_scores"]
+
+
+def attention_scores(q: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Raw scaled attention logits ``Q K^T / sqrt(d)`` (no softmax).
+
+    Exposed separately because GroundingDINO's grounding head thresholds
+    these relevance scores directly (text/box thresholds).
+    """
+    q = np.asarray(q, dtype=np.float32)
+    k = np.asarray(k, dtype=np.float32)
+    d = q.shape[-1]
+    return (q @ np.swapaxes(k, -1, -2)) / np.float32(np.sqrt(d))
+
+
+class MultiHeadAttention:
+    """Multi-head attention; supports self- and cross-attention.
+
+    ``downsample_rate`` shrinks the per-head internal dimension (used by
+    SAM's two-way decoder blocks to keep cross-attention cheap).
+    """
+
+    def __init__(
+        self,
+        params: ParamFactory,
+        name: str,
+        dim: int,
+        n_heads: int,
+        *,
+        kv_dim: int | None = None,
+        downsample_rate: int = 1,
+    ) -> None:
+        if dim % (n_heads * downsample_rate) != 0:
+            raise ValueError(f"dim {dim} not divisible by heads*downsample {n_heads * downsample_rate}")
+        kv_dim = kv_dim if kv_dim is not None else dim
+        self.dim = dim
+        self.n_heads = n_heads
+        self.inner = dim // downsample_rate
+        self.head_dim = self.inner // n_heads
+        self.q_proj = Linear(params, f"{name}.q", dim, self.inner)
+        self.k_proj = Linear(params, f"{name}.k", kv_dim, self.inner)
+        self.v_proj = Linear(params, f"{name}.v", kv_dim, self.inner)
+        self.out_proj = Linear(params, f"{name}.out", self.inner, dim)
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        # (..., T, inner) -> (..., heads, T, head_dim)
+        *lead, t, _ = x.shape
+        x = x.reshape(*lead, t, self.n_heads, self.head_dim)
+        return np.swapaxes(x, -2, -3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        # (..., heads, T, head_dim) -> (..., T, inner)
+        x = np.swapaxes(x, -2, -3)
+        *lead, t, h, d = x.shape
+        return np.ascontiguousarray(x).reshape(*lead, t, h * d)
+
+    def __call__(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray | None = None,
+        values: np.ndarray | None = None,
+        *,
+        return_weights: bool = False,
+    ):
+        """Apply attention.  ``keys``/``values`` default to ``queries`` (self)."""
+        keys = queries if keys is None else keys
+        values = keys if values is None else values
+        q = self._split(self.q_proj(queries))
+        k = self._split(self.k_proj(keys))
+        v = self._split(self.v_proj(values))
+        logits = attention_scores(q, k)
+        weights = softmax(logits, axis=-1)
+        out = self._merge(weights @ v)
+        out = self.out_proj(out)
+        if return_weights:
+            return out, weights
+        return out

@@ -1,0 +1,76 @@
+"""Core NN layers in NumPy: linear, layer norm, GELU, softmax, MLP.
+
+Inference-only (no autograd).  All math is float32 batched matmul on
+C-contiguous arrays — the hot path of every transformer in this library —
+per the cache-effects guidance in the HPC guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .init import ParamFactory
+
+__all__ = ["Linear", "LayerNorm", "gelu", "softmax", "Mlp", "relu"]
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU with the tanh approximation used by ViT/SAM."""
+    x = np.asarray(x, dtype=np.float32)
+    c = np.float32(np.sqrt(2.0 / np.pi))
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x, dtype=np.float32), 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class Linear:
+    """Affine map ``y = x @ W + b`` over the last axis."""
+
+    def __init__(self, params: ParamFactory, name: str, d_in: int, d_out: int, *, bias: bool = True) -> None:
+        self.weight = params.xavier(f"{name}.weight", (d_in, d_out))
+        self.bias = params.zeros(f"{name}.bias", (d_out,)) if bias else None
+        self.d_in = d_in
+        self.d_out = d_out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        y = np.asarray(x, dtype=np.float32) @ self.weight
+        if self.bias is not None:
+            y += self.bias
+        return y
+
+
+class LayerNorm:
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, params: ParamFactory, name: str, dim: int, *, eps: float = 1e-5) -> None:
+        self.gamma = params.ones(f"{name}.gamma", (dim,))
+        self.beta = params.zeros(f"{name}.beta", (dim,))
+        self.eps = np.float32(eps)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mu) / np.sqrt(var + self.eps) * self.gamma + self.beta
+
+
+class Mlp:
+    """Transformer feed-forward block: Linear → GELU → Linear."""
+
+    def __init__(self, params: ParamFactory, name: str, dim: int, hidden: int) -> None:
+        self.fc1 = Linear(params, f"{name}.fc1", dim, hidden)
+        self.fc2 = Linear(params, f"{name}.fc2", hidden, dim)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2(gelu(self.fc1(x)))

@@ -1,0 +1,25 @@
+"""SAM surrogate: ViT encoder, prompt encoder, two-way decoder, analytic head."""
+
+from .analytic import DEFAULT_SCORE_WEIGHTS, AnalyticContext, AnalyticMaskHead, MaskHypothesis
+from .automatic import SamAutomaticMaskGenerator
+from .image_encoder import ImageEncoderViT
+from .mask_decoder import DecoderOutput, MaskDecoder
+from .model import Sam, SamConfig, SamPredictor
+from .prompt_encoder import POINT_LABEL_NEGATIVE, POINT_LABEL_POSITIVE, PromptEncoder
+
+__all__ = [
+    "AnalyticContext",
+    "AnalyticMaskHead",
+    "DEFAULT_SCORE_WEIGHTS",
+    "DecoderOutput",
+    "ImageEncoderViT",
+    "MaskDecoder",
+    "MaskHypothesis",
+    "POINT_LABEL_NEGATIVE",
+    "POINT_LABEL_POSITIVE",
+    "PromptEncoder",
+    "Sam",
+    "SamAutomaticMaskGenerator",
+    "SamConfig",
+    "SamPredictor",
+]

@@ -1,0 +1,124 @@
+"""SAM's image encoder: a ViT producing a dense embedding grid.
+
+Faithful structure (patch embed → positional codes → transformer blocks →
+neck projection), including SAM's **windowed attention**: most blocks
+attend within local windows of the patch grid, with periodic global blocks
+for cross-window information flow.  Weights are deterministic random (see
+:mod:`repro.models.nn.init`) since pretrained checkpoints are unavailable
+offline; downstream consumers treat the embedding as opaque.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ModelConfigError
+from ..nn import Linear, ParamFactory, PatchEmbed, TransformerBlock, sincos_position_embedding
+from ..nn.layers import LayerNorm
+
+__all__ = ["ImageEncoderViT"]
+
+
+def _window_partition(x: np.ndarray, gh: int, gw: int, win: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """(gh*gw, C) tokens → (n_windows, win*win, C), padding the grid."""
+    c = x.shape[-1]
+    grid = x.reshape(gh, gw, c)
+    ph = (win - gh % win) % win
+    pw = (win - gw % win) % win
+    if ph or pw:
+        grid = np.pad(grid, ((0, ph), (0, pw), (0, 0)), mode="edge")
+    hh, ww = grid.shape[:2]
+    grid = grid.reshape(hh // win, win, ww // win, win, c)
+    windows = grid.transpose(0, 2, 1, 3, 4).reshape(-1, win * win, c)
+    return np.ascontiguousarray(windows), (hh, ww)
+
+
+def _window_unpartition(windows: np.ndarray, padded: tuple[int, int], gh: int, gw: int, win: int) -> np.ndarray:
+    """Inverse of :func:`_window_partition`, cropping the padding."""
+    hh, ww = padded
+    c = windows.shape[-1]
+    grid = windows.reshape(hh // win, ww // win, win, win, c).transpose(0, 2, 1, 3, 4)
+    grid = grid.reshape(hh, ww, c)[:gh, :gw]
+    return np.ascontiguousarray(grid.reshape(gh * gw, c))
+
+
+class ImageEncoderViT:
+    """ViT image encoder with windowed attention and a linear neck.
+
+    Parameters mirror SAM's: patch size, embedding dim, depth, heads, the
+    window size, which block indices attend globally, and the neck output
+    channel count shared with the prompt encoder/decoder.  ``window_size=0``
+    makes every block global (the plain ViT).
+    """
+
+    def __init__(
+        self,
+        params: ParamFactory,
+        *,
+        patch_size: int = 16,
+        embed_dim: int = 96,
+        depth: int = 4,
+        n_heads: int = 4,
+        out_chans: int = 64,
+        in_chans: int = 1,
+        mlp_ratio: float = 4.0,
+        window_size: int = 0,
+        global_attn_indexes: tuple[int, ...] | None = None,
+    ) -> None:
+        if embed_dim % n_heads:
+            raise ModelConfigError(f"embed_dim {embed_dim} not divisible by heads {n_heads}")
+        if embed_dim % 4:
+            raise ModelConfigError("embed_dim must be divisible by 4 (sincos PE)")
+        if window_size < 0:
+            raise ModelConfigError("window_size must be >= 0")
+        self.patch_size = patch_size
+        self.in_chans = in_chans
+        self.out_chans = out_chans
+        self.window_size = window_size
+        if global_attn_indexes is None:
+            # SAM's default: a global block every depth/4 (and the last one).
+            global_attn_indexes = tuple(range(depth - 1, -1, -max(depth // 4, 1)))
+        self.global_attn_indexes = frozenset(int(i) for i in global_attn_indexes)
+        self.patch_embed = PatchEmbed(params, "patch_embed", patch_size, in_chans, embed_dim)
+        self.blocks = [
+            TransformerBlock(params, f"encoder.block{i}", embed_dim, n_heads, mlp_ratio=mlp_ratio)
+            for i in range(depth)
+        ]
+        self.final_norm = LayerNorm(params, "encoder.norm", embed_dim)
+        self.neck = Linear(params, "neck", embed_dim, out_chans)
+
+    def _pad(self, image: np.ndarray) -> np.ndarray:
+        h, w = image.shape[:2]
+        p = self.patch_size
+        ph = (p - h % p) % p
+        pw = (p - w % p) % p
+        if ph or pw:
+            pad = ((0, ph), (0, pw)) + (((0, 0),) if image.ndim == 3 else ())
+            image = np.pad(image, pad, mode="edge")
+        return image
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        """Encode a float [0,1] image → ``(gh, gw, out_chans)`` embeddings."""
+        img = np.asarray(image, dtype=np.float32)
+        if img.ndim == 2 and self.in_chans == 3:
+            img = np.repeat(img[:, :, None], 3, axis=2)
+        if img.ndim == 3 and self.in_chans == 1:
+            img = img.mean(axis=2)
+        img = self._pad(img)
+        tokens, (gh, gw) = self.patch_embed(img)
+        tokens = tokens + sincos_position_embedding((gh, gw), tokens.shape[-1])
+        for i, block in enumerate(self.blocks):
+            use_window = (
+                self.window_size > 0
+                and i not in self.global_attn_indexes
+                and min(gh, gw) > self.window_size
+            )
+            if use_window:
+                windows, padded = _window_partition(tokens, gh, gw, self.window_size)
+                windows = block(windows)  # batched over windows
+                tokens = _window_unpartition(windows, padded, gh, gw, self.window_size)
+            else:
+                tokens = block(tokens)
+        tokens = self.final_norm(tokens)
+        out = self.neck(tokens)
+        return np.ascontiguousarray(out.reshape(gh, gw, self.out_chans))

@@ -1,0 +1,105 @@
+"""SAM's mask decoder: two-way transformer + hypernetwork mask heads.
+
+Structure is faithful to SAM: learned IoU and mask tokens are prepended to
+the prompt tokens, two :class:`TwoWayBlock` layers let prompts and image
+embeddings attend to each other, a final token→image cross-attention updates
+the tokens, and per-mask hypernetwork MLPs turn mask tokens into per-pixel
+dot products with the (upscaled) image embedding.  An MLP on the IoU token
+predicts mask quality.
+
+With deterministic random weights the decoder's *logits* are not semantic;
+the :class:`~repro.models.sam.analytic.AnalyticMaskHead` supplies the final
+masks while this module supplies the token machinery and interfaces (see
+DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import zoom
+
+from ..nn import Linear, Mlp, MultiHeadAttention, ParamFactory, TwoWayBlock
+
+__all__ = ["MaskDecoder", "DecoderOutput"]
+
+
+class DecoderOutput:
+    """Raw decoder products: mask logits, IoU logits, final tokens."""
+
+    def __init__(self, mask_logits: np.ndarray, iou_logits: np.ndarray, tokens: np.ndarray) -> None:
+        self.mask_logits = mask_logits  # (n_masks, H, W)
+        self.iou_logits = iou_logits  # (n_masks,)
+        self.tokens = tokens  # (T, D) final query tokens
+
+
+class MaskDecoder:
+    """Two-way transformer decoder with hypernetwork mask heads."""
+
+    def __init__(
+        self,
+        params: ParamFactory,
+        *,
+        embed_dim: int = 64,
+        n_heads: int = 4,
+        depth: int = 2,
+        num_multimask: int = 3,
+    ) -> None:
+        self.embed_dim = embed_dim
+        self.num_mask_tokens = num_multimask + 1  # +1 single-mask token
+        self.iou_token = params.normal("iou_token", (embed_dim,), std=0.5)
+        self.mask_tokens = params.normal("mask_tokens", (self.num_mask_tokens, embed_dim), std=0.5)
+        self.blocks = [
+            TwoWayBlock(params, f"block{i}", embed_dim, n_heads) for i in range(depth)
+        ]
+        self.final_attn = MultiHeadAttention(params, "final_attn", embed_dim, n_heads, downsample_rate=2)
+        self.hypernets = [
+            Mlp(params, f"hyper{i}", embed_dim, embed_dim) for i in range(self.num_mask_tokens)
+        ]
+        self.iou_head = Linear(params, "iou_head", embed_dim, self.num_mask_tokens)
+
+    def __call__(
+        self,
+        image_embedding: np.ndarray,  # (gh, gw, D)
+        image_pe: np.ndarray,  # (gh, gw, D)
+        sparse_tokens: np.ndarray,  # (T, D)
+        dense_bias: np.ndarray | None = None,
+        *,
+        output_shape: tuple[int, int] | None = None,
+    ) -> DecoderOutput:
+        gh, gw, d = image_embedding.shape
+        img = image_embedding
+        if dense_bias is not None:
+            img = img + dense_bias
+        img_tokens = img.reshape(gh * gw, d)
+        pe_tokens = image_pe.reshape(gh * gw, d)
+
+        queries = np.concatenate(
+            [self.iou_token[None, :], self.mask_tokens, sparse_tokens], axis=0
+        ).astype(np.float32)
+        query_pe = np.zeros_like(queries)
+        query_pe[1 + self.num_mask_tokens :] = sparse_tokens  # prompts reuse their codes as PE
+
+        q, img_tokens = queries, img_tokens
+        for block in self.blocks:
+            q, img_tokens = block(q, img_tokens, query_pe, pe_tokens)
+        q = q + self.final_attn(q + query_pe, img_tokens + pe_tokens, img_tokens)
+
+        iou_tok = q[0]
+        mask_toks = q[1 : 1 + self.num_mask_tokens]
+        img_grid = img_tokens.reshape(gh, gw, d)
+
+        logits = np.empty((self.num_mask_tokens, gh, gw), dtype=np.float32)
+        for i, hyper in enumerate(self.hypernets):
+            vec = hyper(mask_toks[i][None])[0]
+            logits[i] = img_grid @ vec
+        if output_shape is not None:
+            oh, ow = output_shape
+            scaled = np.stack(
+                [
+                    zoom(logits[i], (oh / gh, ow / gw), order=1, mode="nearest", grid_mode=True)[:oh, :ow]
+                    for i in range(self.num_mask_tokens)
+                ]
+            )
+            logits = scaled.astype(np.float32)
+        iou_logits = self.iou_head(iou_tok[None])[0]
+        return DecoderOutput(mask_logits=logits, iou_logits=iou_logits, tokens=q)

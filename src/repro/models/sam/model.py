@@ -1,0 +1,185 @@
+"""The Sam facade and :class:`SamPredictor` (the segment-anything API).
+
+``SamPredictor`` mirrors the upstream interface: ``set_image`` once per
+image (runs the ViT encoder and the analytic precomputation), then
+``predict`` per prompt.  Internally both paths run on every call:
+
+* the **transformer path** — prompt encoder → two-way mask decoder — whose
+  token outputs and logits are exposed via ``last_decoder_output``;
+* the **analytic path** — :class:`AnalyticMaskHead` — which supplies the
+  returned masks and quality scores (the substitution for pretrained
+  hypernetwork weights; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ModelConfigError, PromptError
+from ...utils.rng import derive_seed
+from ..nn import ParamFactory
+from .analytic import AnalyticContext, AnalyticMaskHead, MaskHypothesis
+from .image_encoder import ImageEncoderViT
+from .mask_decoder import DecoderOutput, MaskDecoder
+from .prompt_encoder import PromptEncoder
+
+__all__ = ["SamConfig", "Sam", "SamPredictor"]
+
+
+@dataclass(frozen=True)
+class SamConfig:
+    """Architecture hyper-parameters (mirrors SAM's ViT variants)."""
+
+    name: str = "vit_t"
+    patch_size: int = 16
+    encoder_dim: int = 96
+    encoder_depth: int = 4
+    encoder_heads: int = 4
+    encoder_window: int = 0  # 0 = all-global attention; SAM ViT-H uses 14
+    prompt_dim: int = 64
+    decoder_depth: int = 2
+    decoder_heads: int = 4
+    num_multimask: int = 3
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.prompt_dim % 4:
+            raise ModelConfigError("prompt_dim must be divisible by 4")
+        if self.num_multimask < 1:
+            raise ModelConfigError("num_multimask must be >= 1")
+
+
+class Sam:
+    """Container tying encoder, prompt encoder, decoder, and analytic head."""
+
+    def __init__(self, config: SamConfig | None = None, *, analytic: AnalyticMaskHead | None = None) -> None:
+        self.config = config or SamConfig()
+        params = ParamFactory(derive_seed(self.config.seed, "sam", self.config.name))
+        c = self.config
+        self.image_encoder = ImageEncoderViT(
+            params.child("image_encoder"),
+            patch_size=c.patch_size,
+            embed_dim=c.encoder_dim,
+            depth=c.encoder_depth,
+            n_heads=c.encoder_heads,
+            out_chans=c.prompt_dim,
+            window_size=c.encoder_window,
+        )
+        self.prompt_encoder = PromptEncoder(params.child("prompt_encoder"), embed_dim=c.prompt_dim)
+        self.mask_decoder = MaskDecoder(
+            params.child("mask_decoder"),
+            embed_dim=c.prompt_dim,
+            n_heads=c.decoder_heads,
+            depth=c.decoder_depth,
+            num_multimask=c.num_multimask,
+        )
+        self.analytic = analytic or AnalyticMaskHead()
+
+
+class SamPredictor:
+    """Stateful per-image predictor (the API applications use)."""
+
+    def __init__(self, sam: Sam | None = None) -> None:
+        self.sam = sam or Sam()
+        self._image: np.ndarray | None = None
+        self._embedding: np.ndarray | None = None
+        self._dense_pe: np.ndarray | None = None
+        self._ctx: AnalyticContext | None = None
+        self.last_decoder_output: DecoderOutput | None = None
+
+    @property
+    def is_image_set(self) -> bool:
+        return self._image is not None
+
+    @property
+    def analytic_context(self) -> AnalyticContext:
+        if self._ctx is None:
+            raise PromptError("call set_image before predicting")
+        return self._ctx
+
+    def set_image(self, image: np.ndarray) -> None:
+        """Encode a float [0,1] grayscale image; heavy work happens once here."""
+        img = np.asarray(image, dtype=np.float32)
+        if img.ndim == 3:
+            img = img.mean(axis=2)
+        if img.ndim != 2:
+            raise PromptError(f"set_image expects HxW (or HxWxC) array, got shape {img.shape}")
+        if img.min() < -1e-4 or img.max() > 1 + 1e-4:
+            raise PromptError("set_image expects a [0,1] float image; run the adaptation layer first")
+        self._image = img
+        self._embedding = self.sam.image_encoder(img)
+        gh, gw, _ = self._embedding.shape
+        self._dense_pe = self.sam.prompt_encoder.dense_pe((gh, gw))
+        self._ctx = self.sam.analytic.prepare(img)
+        self.last_decoder_output = None
+
+    def reset_image(self) -> None:
+        self._image = None
+        self._embedding = None
+        self._dense_pe = None
+        self._ctx = None
+        self.last_decoder_output = None
+
+    def predict(
+        self,
+        *,
+        point_coords: np.ndarray | None = None,
+        point_labels: np.ndarray | None = None,
+        box: np.ndarray | None = None,
+        mask_input: np.ndarray | None = None,
+        multimask_output: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Segment with the given prompt.
+
+        Returns ``(masks, scores, low_res_logits)`` with masks sorted by
+        score descending; ``multimask_output=False`` keeps only the best.
+        """
+        if self._image is None or self._embedding is None or self._ctx is None:
+            raise PromptError("call set_image before predicting")
+        h, w = self._image.shape
+        gh, gw, _ = self._embedding.shape
+
+        sparse, dense = self.sam.prompt_encoder.encode(
+            (h, w),
+            points=point_coords,
+            labels=point_labels,
+            box=box,
+            mask_input=mask_input,
+            grid=(gh, gw),
+        )
+        self.last_decoder_output = self.sam.mask_decoder(
+            self._embedding, self._dense_pe, sparse, dense
+        )
+
+        hyps: list[MaskHypothesis]
+        if box is not None:
+            hyps = self.sam.analytic.masks_from_box(self._ctx, np.asarray(box))
+            if point_coords is not None:
+                hyps += self.sam.analytic.masks_from_points(
+                    self._ctx, np.asarray(point_coords), np.asarray(point_labels)
+                )
+        elif point_coords is not None:
+            hyps = self.sam.analytic.masks_from_points(
+                self._ctx, np.asarray(point_coords), np.asarray(point_labels)
+            )
+        else:
+            raise PromptError("predict needs a box and/or points")
+
+        hyps = sorted(hyps, key=lambda hh: -hh.score)
+        if not multimask_output:
+            hyps = hyps[:1]
+        masks = np.stack([hh.mask for hh in hyps], axis=0)
+        scores = np.array([hh.score for hh in hyps], dtype=np.float32)
+        n = len(hyps)
+        logits = self.last_decoder_output.mask_logits
+        low_res = logits[: n] if logits.shape[0] >= n else np.repeat(logits[:1], n, axis=0)
+        return masks, scores, low_res
+
+    def score_terms(self, mask: np.ndarray) -> dict[str, float]:
+        """Quality decomposition for an arbitrary mask on the current image."""
+        if self._ctx is None:
+            raise PromptError("call set_image before scoring")
+        _, terms = self.sam.analytic.score_mask(self._ctx, mask)
+        return terms

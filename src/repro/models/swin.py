@@ -1,0 +1,144 @@
+"""A Swin-style hierarchical windowed transformer encoder.
+
+The paper's deployment grounds text with GroundingDINO on a **Swin-T**
+backbone.  This module implements the Swin mechanics — non-overlapping
+window attention, *shifted* windows on alternating blocks for cross-window
+flow, and patch-merging downsampling between stages — at surrogate scale.
+
+Like the SAM ViT, its weights are deterministic random (no pretrained
+checkpoints offline), so :class:`~repro.models.dino.GroundingDino` keeps the
+analytic feature alignment for *scoring* while this backbone supplies the
+architectural embedding stream (exposed via ``GroundingDino.encode_image``
+consumers and testable end to end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelConfigError
+from .nn import Linear, ParamFactory, TransformerBlock, sincos_position_embedding
+
+__all__ = ["SwinEncoder", "SwinStageOutput"]
+
+
+class SwinStageOutput:
+    """Per-stage feature grids: list of (gh, gw, C_i) arrays, finest first."""
+
+    def __init__(self, grids: list[np.ndarray]) -> None:
+        self.grids = grids
+
+    @property
+    def finest(self) -> np.ndarray:
+        return self.grids[0]
+
+    @property
+    def coarsest(self) -> np.ndarray:
+        return self.grids[-1]
+
+
+def _partition(grid: np.ndarray, win: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """(H, W, C) → (n_windows, win², C) with edge padding."""
+    h, w, c = grid.shape
+    ph = (win - h % win) % win
+    pw = (win - w % win) % win
+    if ph or pw:
+        grid = np.pad(grid, ((0, ph), (0, pw), (0, 0)), mode="edge")
+    hh, ww = grid.shape[:2]
+    windows = (
+        grid.reshape(hh // win, win, ww // win, win, c)
+        .transpose(0, 2, 1, 3, 4)
+        .reshape(-1, win * win, c)
+    )
+    return np.ascontiguousarray(windows), (hh, ww)
+
+
+def _unpartition(windows: np.ndarray, padded: tuple[int, int], h: int, w: int, win: int) -> np.ndarray:
+    hh, ww = padded
+    c = windows.shape[-1]
+    grid = (
+        windows.reshape(hh // win, ww // win, win, win, c)
+        .transpose(0, 2, 1, 3, 4)
+        .reshape(hh, ww, c)
+    )
+    return np.ascontiguousarray(grid[:h, :w])
+
+
+class SwinEncoder:
+    """Hierarchical windowed encoder over a patch-token grid.
+
+    ``depths`` blocks per stage; window attention everywhere, with the
+    window grid shifted by ``window // 2`` on odd blocks (Swin's signature
+    move); 2×2 patch merging doubles channels between stages.
+    """
+
+    def __init__(
+        self,
+        params: ParamFactory,
+        *,
+        in_dim: int = 32,
+        depths: tuple[int, ...] = (2, 2),
+        n_heads: int = 4,
+        window: int = 4,
+        mlp_ratio: float = 2.0,
+    ) -> None:
+        if window < 2:
+            raise ModelConfigError("window must be >= 2")
+        if in_dim % n_heads:
+            raise ModelConfigError(f"in_dim {in_dim} not divisible by heads {n_heads}")
+        self.window = window
+        self.stages: list[list[TransformerBlock]] = []
+        self.merges: list[Linear] = []
+        dim = in_dim
+        for s, depth in enumerate(depths):
+            blocks = [
+                TransformerBlock(params, f"stage{s}.block{b}", dim, n_heads, mlp_ratio=mlp_ratio)
+                for b in range(depth)
+            ]
+            self.stages.append(blocks)
+            if s < len(depths) - 1:
+                self.merges.append(Linear(params, f"stage{s}.merge", 4 * dim, 2 * dim))
+                dim *= 2
+        self.out_dims = [in_dim * (2**s) for s in range(len(depths))]
+
+    def _run_block(self, grid: np.ndarray, block: TransformerBlock, shift: int) -> np.ndarray:
+        h, w, _ = grid.shape
+        if shift:
+            grid = np.roll(grid, (-shift, -shift), axis=(0, 1))
+        windows, padded = _partition(grid, self.window)
+        windows = block(windows)
+        grid = _unpartition(windows, padded, h, w, self.window)
+        if shift:
+            grid = np.roll(grid, (shift, shift), axis=(0, 1))
+        return grid
+
+    def _merge(self, grid: np.ndarray, merge: Linear) -> np.ndarray:
+        """2×2 patch merging: concat the 4 neighbours, project to 2C."""
+        h, w, c = grid.shape
+        if h % 2 or w % 2:
+            grid = np.pad(grid, ((0, h % 2), (0, w % 2), (0, 0)), mode="edge")
+            h, w = grid.shape[:2]
+        quad = np.concatenate(
+            [grid[0::2, 0::2], grid[0::2, 1::2], grid[1::2, 0::2], grid[1::2, 1::2]], axis=-1
+        )
+        return merge(quad)
+
+    def __call__(self, tokens: np.ndarray, grid_shape: tuple[int, int]) -> SwinStageOutput:
+        """Encode a token grid; returns per-stage feature grids.
+
+        ``tokens`` is (gh*gw, C); positional codes are added at entry.
+        """
+        gh, gw = grid_shape
+        if tokens.shape[0] != gh * gw:
+            raise ModelConfigError(f"{tokens.shape[0]} tokens for grid {gh}x{gw}")
+        x = tokens + sincos_position_embedding((gh, gw), tokens.shape[-1])
+        grid = np.asarray(x, dtype=np.float32).reshape(gh, gw, -1)
+        outputs: list[np.ndarray] = []
+        for s, blocks in enumerate(self.stages):
+            for b, block in enumerate(blocks):
+                shift = self.window // 2 if b % 2 == 1 else 0
+                grid = self._run_block(grid, block, shift)
+            outputs.append(grid)
+            if s < len(self.stages) - 1:
+                grid = self._merge(grid, self.merges[s])
+        return SwinStageOutput(outputs)

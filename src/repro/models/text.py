@@ -1,0 +1,163 @@
+"""Text side of the grounding surrogate: tokenizer + concept lexicon.
+
+GroundingDINO learns an open vocabulary from web-scale pairs; offline we
+install the vocabulary analytically.  Each known word maps to an *attribute
+vector* over the engineered feature channels in
+:mod:`repro.models.features` — positive weights mean "this concept looks
+like high values of that feature", negative weights suppress.  Unknown words
+get a zero vector and are reported as ungrounded (the text-threshold path).
+
+The lexicon covers the domain vocabulary the paper's workflows use
+("catalyst particles", "needle-like crystalline structures", "dark
+background", "membrane") plus generic visual words ("bright", "dark",
+"edges", "texture").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PromptError
+from .features import FEATURE_NAMES
+
+__all__ = ["tokenize", "ConceptLexicon", "default_lexicon", "TextEncoding"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Words carrying no visual meaning, dropped before grounding.
+STOPWORDS = frozenset(
+    "a an the of in on at and or with for to all every each this that these those its his her "
+    "image slice region area please find segment show me select".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokenizer; strips punctuation; drops stopwords."""
+    if not isinstance(text, str):
+        raise PromptError(f"prompt must be a string, got {type(text).__name__}")
+    words = _TOKEN_RE.findall(text.lower())
+    return [w for w in words if w not in STOPWORDS]
+
+
+def _vec(**weights: float) -> np.ndarray:
+    v = np.zeros(len(FEATURE_NAMES), dtype=np.float32)
+    for name, w in weights.items():
+        v[FEATURE_NAMES.index(name)] = w
+    return v
+
+
+def _build_default_entries() -> dict[str, np.ndarray]:
+    catalyst = _vec(relative_brightness=1.0, texture=0.25, darkness=-0.6)
+    # Needles are thin *and* locally bright; elongation alone is too weak a
+    # cue after adaptation (blur dilutes the structure-tensor coherence), so
+    # local brightness carries most of the weight.
+    needle = _vec(elongation=0.5, relative_brightness=0.95, texture=0.2, darkness=-0.5)
+    blob = _vec(relative_brightness=0.95, texture=0.35, intensity=0.35, darkness=-0.5)
+    dark = _vec(darkness=1.0, texture=-0.3, edge=-0.1)
+    film = _vec(midtone=1.0, darkness=-0.35, relative_brightness=-0.35)
+    bright = _vec(intensity=1.0, darkness=-1.0)
+    edges = _vec(edge=1.0)
+    textured = _vec(texture=1.0)
+    entries: dict[str, np.ndarray] = {}
+
+    def add(vec: np.ndarray, *words: str) -> None:
+        for w in words:
+            entries[w] = vec
+
+    add(catalyst, "catalyst", "catalysts", "particle", "particles", "iridium", "irox", "iro2", "oxide", "grain", "grains", "inclusion", "inclusions", "precipitate", "precipitates")
+    add(needle, "needle", "needles", "needlelike", "crystalline", "crystal", "crystals", "rod", "rods", "fiber", "fibers", "whisker", "whiskers", "elongated")
+    add(blob, "amorphous", "aggregate", "aggregates", "blob", "blobs", "cluster", "clusters", "globular", "nodule", "nodules")
+    add(dark, "dark", "black", "background", "pore", "pores", "void", "voids", "vacuum", "hole", "holes", "trench", "resin")
+    add(film, "membrane", "film", "ionomer", "nafion", "matrix", "layer", "substrate", "bulk")
+    add(bright, "bright", "white", "light", "glowing", "luminous")
+    add(edges, "edge", "edges", "boundary", "boundaries", "interface", "interfaces", "outline", "contour")
+    add(textured, "texture", "textured", "rough", "grainy", "speckled", "noisy")
+    return entries
+
+
+@dataclass(frozen=True)
+class TextEncoding:
+    """Grounded representation of a prompt."""
+
+    words: tuple[str, ...]  # tokens that survived grounding
+    vectors: np.ndarray  # (T, F) attribute vectors, unit-normalised
+    ungrounded: tuple[str, ...]  # tokens with no lexicon entry
+    biases: np.ndarray = None  # type: ignore[assignment]  # (T,) per-token relevance bias; NaN = detector default
+
+    def __post_init__(self):
+        if self.biases is None:
+            object.__setattr__(self, "biases", np.full(len(self.words), np.nan, dtype=np.float32))
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.words)
+
+
+class ConceptLexicon:
+    """Maps prompt tokens to attribute vectors over the feature channels.
+
+    Each entry may carry an optional per-concept *relevance bias*: the dot
+    product level separating "present" from "absent" for that concept.
+    Hand-authored concepts use the detector's global default; calibrated
+    concepts (see :mod:`repro.models.tuning`) bring their fitted midpoint.
+    """
+
+    def __init__(self, entries: dict[str, np.ndarray] | None = None) -> None:
+        self.entries = dict(entries) if entries is not None else _build_default_entries()
+        self.biases: dict[str, float] = {}
+        for word, vec in self.entries.items():
+            if vec.shape != (len(FEATURE_NAMES),):
+                raise PromptError(f"lexicon entry {word!r} has shape {vec.shape}")
+
+    def add(self, word: str, vector: np.ndarray, *, bias: float | None = None) -> None:
+        """Register a new concept (the platform's vocabulary-extension hook).
+
+        ``bias`` overrides the detector's global relevance bias for this
+        word; it must be expressed for the *normalised* vector.
+        """
+        vec = np.asarray(vector, dtype=np.float32)
+        if vec.shape != (len(FEATURE_NAMES),):
+            raise PromptError(f"concept vector must have {len(FEATURE_NAMES)} entries, got {vec.shape}")
+        self.entries[word.lower()] = vec
+        if bias is not None:
+            self.biases[word.lower()] = float(bias)
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self.entries
+
+    def encode(self, prompt: str) -> TextEncoding:
+        """Tokenize and ground a prompt.
+
+        Raises :class:`PromptError` when the prompt is empty; a prompt whose
+        tokens are all unknown returns an encoding with ``n_tokens == 0``
+        (the detector turns that into a no-detection result, mirroring a
+        text threshold that nothing passes).
+        """
+        words = tokenize(prompt)
+        if not words:
+            raise PromptError(f"prompt {prompt!r} contains no usable words")
+        grounded, vectors, biases, unknown = [], [], [], []
+        for w in words:
+            vec = self.entries.get(w)
+            if vec is None:
+                unknown.append(w)
+                continue
+            norm = float(np.linalg.norm(vec))
+            grounded.append(w)
+            vectors.append(vec / norm if norm > 0 else vec)
+            biases.append(self.biases.get(w, np.nan))
+        mat = np.stack(vectors, axis=0) if vectors else np.zeros((0, len(FEATURE_NAMES)), dtype=np.float32)
+        return TextEncoding(
+            words=tuple(grounded),
+            vectors=mat.astype(np.float32),
+            ungrounded=tuple(unknown),
+            biases=np.asarray(biases, dtype=np.float32),
+        )
+
+
+def default_lexicon() -> ConceptLexicon:
+    """The built-in materials-microscopy lexicon."""
+    return ConceptLexicon()

@@ -1,0 +1,15 @@
+"""Shared-memory parallelism for Mode B: arrays, partitions, worker pool."""
+
+from .pool import default_worker_count, run_partitioned
+from .scheduler import SlicePartition, block_partition, cyclic_partition
+from .sharedmem import SharedArraySpec, SharedNDArray
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedNDArray",
+    "SlicePartition",
+    "block_partition",
+    "cyclic_partition",
+    "default_worker_count",
+    "run_partitioned",
+]

@@ -1,0 +1,80 @@
+"""A process pool specialised for shared-memory volume work.
+
+``run_partitioned`` forks one process per :class:`SlicePartition`, hands each
+the shared-memory specs plus its partition, and collects per-worker results
+(small picklables only — masks travel through the shared output array).
+Worker exceptions propagate to the parent as :class:`ParallelError` with the
+original traceback text attached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from typing import Any, Callable, Sequence
+
+from ..errors import ParallelError
+from .scheduler import SlicePartition
+
+__all__ = ["run_partitioned", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Workers to use by default: cpu count capped at 4 (NumPy is threaded)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _trampoline(fn: Callable, part: SlicePartition, args: tuple, queue: mp.Queue) -> None:
+    try:
+        result = fn(part, *args)
+        queue.put((part.worker, "ok", result))
+    except Exception:
+        queue.put((part.worker, "error", traceback.format_exc()))
+
+
+def run_partitioned(
+    fn: Callable[..., Any],
+    partitions: Sequence[SlicePartition],
+    *args,
+    timeout_s: float = 600.0,
+) -> list[Any]:
+    """Run ``fn(partition, *args)`` in one forked process per partition.
+
+    Returns results ordered by worker id.  ``fn`` must be module-level
+    (picklable by reference under fork) and should write bulk output through
+    shared memory; its return value is for small metadata only.
+    """
+    if not partitions:
+        raise ParallelError("run_partitioned needs at least one partition")
+    if len(partitions) == 1:
+        # Degenerate case: run inline (no fork overhead, same code path for
+        # the worker function).
+        return [fn(partitions[0], *args)]
+    ctx = mp.get_context("fork")
+    queue: mp.Queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_trampoline, args=(fn, part, args, queue), daemon=True)
+        for part in partitions
+    ]
+    for p in procs:
+        p.start()
+    results: dict[int, Any] = {}
+    errors: list[str] = []
+    try:
+        for _ in partitions:
+            worker, status, payload = queue.get(timeout=timeout_s)
+            if status == "ok":
+                results[worker] = payload
+            else:
+                errors.append(f"worker {worker}:\n{payload}")
+    except Exception as exc:  # queue.Empty or interpreter shutdown
+        errors.append(f"pool failure: {exc!r}")
+    finally:
+        for p in procs:
+            p.join(timeout=10)
+            if p.is_alive():  # pragma: no cover - hung worker
+                p.terminate()
+    if errors:
+        raise ParallelError("worker failure(s):\n" + "\n".join(errors))
+    return [results[part.worker] for part in partitions]

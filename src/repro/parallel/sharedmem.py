@@ -1,0 +1,106 @@
+"""Zero-copy volume sharing between Mode B worker processes.
+
+Workers never pickle voxel data: the parent places the volume (and the
+output mask array) in POSIX shared memory and ships only ``(name, shape,
+dtype)`` handles.  This is the multiprocessing analogue of the mpi4py
+buffer-protocol idiom (upper-case ``Send``/``Recv``) from the HPC guide —
+the payload moves without serialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import ParallelError
+
+__all__ = ["SharedArraySpec", "SharedNDArray"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle to a shared array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedNDArray:
+    """An ndarray backed by :class:`multiprocessing.shared_memory.SharedMemory`.
+
+    Create with :meth:`create` (owner) or :meth:`attach` (worker).  The owner
+    must call :meth:`unlink` when done; every process calls :meth:`close`.
+    Usable as a context manager (closes, and unlinks if owner).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape: tuple[int, ...], dtype: np.dtype, *, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, shape: tuple[int, ...], dtype, *, fill: np.ndarray | None = None) -> "SharedNDArray":
+        """Allocate a new shared array, optionally copying ``fill`` into it."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        if nbytes <= 0:
+            raise ParallelError(f"cannot allocate shared array of shape {shape}")
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        arr = cls(shm, tuple(shape), dtype, owner=True)
+        if fill is not None:
+            src = np.asarray(fill)
+            if src.shape != arr.shape:
+                arr.unlink()
+                raise ParallelError(f"fill shape {src.shape} != shared shape {arr.shape}")
+            arr.array[...] = src
+        return arr
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedNDArray":
+        """Copy an existing array into new shared memory."""
+        return cls.create(array.shape, array.dtype, fill=array)
+
+    @classmethod
+    def attach(cls, spec: SharedArraySpec) -> "SharedNDArray":
+        """Attach to an existing shared array from its spec (worker side)."""
+        try:
+            shm = shared_memory.SharedMemory(name=spec.name)
+        except FileNotFoundError as exc:
+            raise ParallelError(f"shared memory segment {spec.name!r} not found") from exc
+        return cls(shm, tuple(spec.shape), np.dtype(spec.dtype), owner=False)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def spec(self) -> SharedArraySpec:
+        return SharedArraySpec(name=self._shm.name, shape=self.shape, dtype=self.dtype.str)
+
+    def close(self) -> None:
+        """Detach this process's mapping (safe to call repeatedly)."""
+        self.array = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - interpreter-dependent
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after all workers closed)."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    def __enter__(self) -> "SharedNDArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink() if self._owner else self.close()

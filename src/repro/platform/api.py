@@ -1,0 +1,231 @@
+"""The no-code JSON API: every platform capability as a request/response pair.
+
+``ApiHandler.handle`` maps an action name + JSON-safe params onto session
+operations, returning JSON-safe dicts.  Errors become ``{"ok": False,
+"error": ..., "type": ...}`` rather than exceptions, so the HTTP layer and
+the benchmark drivers share one contract.
+
+Actions
+-------
+``create_session``, ``load_file``, ``preview``, ``select_slice``,
+``segment`` (Mode A), ``rectify``, ``further_segment``,
+``segment_volume`` (Mode B), ``evaluate`` (Mode C), ``dashboard``,
+``adapt_spec`` (custom adaptation pipelines), ``mask_png`` (render export).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Callable
+
+from ..adapt.pipeline import AdaptationPipeline
+from ..core.prompts import SpatialHints
+from ..data.datasets import make_benchmark_dataset
+from ..errors import ReproError
+from ..eval.dashboard import render_dashboard
+from ..eval.evaluator import Evaluator
+from ..eval.experiments import ExperimentSetup, build_methods
+from ..io.png import encode_png
+from ..viz.overlay import overlay_mask
+from .session import Session, SessionStore
+
+__all__ = ["ApiHandler"]
+
+
+class ApiHandler:
+    """Dispatches JSON actions onto a :class:`SessionStore`."""
+
+    def __init__(self, store: SessionStore | None = None) -> None:
+        self.store = store or SessionStore()
+        self._actions: dict[str, Callable[[dict], dict]] = {
+            "create_session": self._create_session,
+            "load_file": self._load_file,
+            "preview": self._preview,
+            "select_slice": self._select_slice,
+            "segment": self._segment,
+            "rectify": self._rectify,
+            "further_segment": self._further_segment,
+            "segment_volume": self._segment_volume,
+            "evaluate": self._evaluate,
+            "dashboard": self._dashboard,
+            "adapt_spec": self._adapt_spec,
+            "mask_png": self._mask_png,
+            "segment_multi": self._segment_multi,
+            "propagate_volume": self._propagate_volume,
+            "calibrate_concept": self._calibrate_concept,
+        }
+
+    # -- dispatch -----------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Process one request dict: ``{"action": ..., ...params}``."""
+        action = request.get("action")
+        handler = self._actions.get(action)  # type: ignore[arg-type]
+        if handler is None:
+            return {"ok": False, "type": "UnknownAction", "error": f"unknown action {action!r}; known: {sorted(self._actions)}"}
+        try:
+            payload = handler(request)
+        except ReproError as exc:
+            return {"ok": False, "type": type(exc).__name__, "error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "type": type(exc).__name__, "error": str(exc)}
+        payload.setdefault("ok", True)
+        return payload
+
+    def _session(self, request: dict) -> Session:
+        return self.store.get(str(request["session_id"]))
+
+    # -- handlers --------------------------------------------------------------
+
+    def _create_session(self, request: dict) -> dict:
+        del request
+        session = self.store.create()
+        return {"session_id": session.session_id}
+
+    def _load_file(self, request: dict) -> dict:
+        session = self._session(request)
+        preview = session.load_file(str(request["path"]), modality=request.get("modality", "unknown"))
+        return {"preview": preview}
+
+    def _preview(self, request: dict) -> dict:
+        return {"preview": self._session(request).preview()}
+
+    def _select_slice(self, request: dict) -> dict:
+        session = self._session(request)
+        return {"preview": session.select_slice(int(request["index"]))}
+
+    def _segment(self, request: dict) -> dict:
+        session = self._session(request)
+        hints = None
+        if any(k in request for k in ("boxes", "positive_points", "negative_points")):
+            hints = SpatialHints(
+                boxes=tuple(tuple(b) for b in request.get("boxes", [])),
+                positive_points=tuple(tuple(p) for p in request.get("positive_points", [])),
+                negative_points=tuple(tuple(p) for p in request.get("negative_points", [])),
+            )
+        result = session.segment(str(request["prompt"]), hints=hints)
+        return {"result": result.to_record()}
+
+    def _rectify(self, request: dict) -> dict:
+        session = self._session(request)
+        return {"rectify": session.rectify_click(float(request["x"]), float(request["y"]))}
+
+    def _further_segment(self, request: dict) -> dict:
+        session = self._session(request)
+        node = session.further_segment(request["box"], str(request["prompt"]))
+        return {
+            "depth": node.depth,
+            "area": int(node.mask.sum()),
+            "box": node.box.tolist() if node.box is not None else None,
+        }
+
+    def _segment_volume(self, request: dict) -> dict:
+        session = self._session(request)
+        result = session.segment_volume(
+            str(request["prompt"]), temporal=bool(request.get("temporal", True))
+        )
+        return {
+            "n_slices": result.n_slices,
+            "volume_fraction": result.volume_fraction(),
+            "refinement": result.refinement_report,
+            "per_slice_coverage": [float(m.mean()) for m in result.masks],
+        }
+
+    def _evaluate(self, request: dict) -> dict:
+        """Mode C on the built-in benchmark (or a reduced variant)."""
+        shape = tuple(request.get("shape", (128, 128)))
+        n_slices = int(request.get("n_slices", 3))
+        methods = request.get("methods", ["otsu"])
+        setup = ExperimentSetup(dataset=make_benchmark_dataset(shape=shape, n_slices=n_slices))
+        evaluator = Evaluator(build_methods(setup))
+        evaluations = evaluator.evaluate(setup.dataset.slices, method_names=methods)
+        out = {}
+        for name, ev in evaluations.items():
+            out[name] = {
+                kind: {m: s.as_dict() for m, s in ev.summary(kind).items()} for kind in ev.kinds()
+            }
+        self._last_evaluations = evaluations
+        return {"evaluations": out}
+
+    def _dashboard(self, request: dict) -> dict:
+        del request
+        evaluations = getattr(self, "_last_evaluations", None)
+        if not evaluations:
+            return {"ok": False, "type": "SessionError", "error": "run evaluate before dashboard"}
+        return {"html": render_dashboard(evaluations)}
+
+    def _adapt_spec(self, request: dict) -> dict:
+        """Validate + apply a custom adaptation spec to the active image."""
+        session = self._session(request)
+        pipeline = AdaptationPipeline.from_spec(request["steps"])
+        adapted = pipeline.run_on(session.current_image())
+        return {"describe": adapted.describe(), "pipeline": pipeline.describe()}
+
+    def _segment_multi(self, request: dict) -> dict:
+        """Multi-object segmentation: several prompts, exclusive label map."""
+        from ..core.multiobject import segment_multi
+
+        session = self._session(request)
+        prompts = [str(p) for p in request["prompts"]]
+        result = segment_multi(session.pipeline, session.current_image(), prompts)
+        return {
+            "classes": list(result.class_names),
+            "coverage": result.coverage(),
+            "unassigned": float((result.labels == 0).mean()),
+        }
+
+    def _propagate_volume(self, request: dict) -> dict:
+        """SAM2-style propagation through the loaded volume."""
+        from ..core.propagation import propagate_volume
+
+        session = self._session(request)
+        if session.volume is None:
+            return {"ok": False, "type": "SessionError", "error": "propagate_volume requires a loaded volume"}
+        result = propagate_volume(
+            session.pipeline,
+            session.volume,
+            str(request["prompt"]),
+            reference_slice=int(request.get("reference_slice", 0)),
+        )
+        session.last_volume_result = result
+        return {
+            "n_slices": result.n_slices,
+            "volume_fraction": result.volume_fraction(),
+            "regrounds": result.refinement_report.get("regrounds", 0),
+        }
+
+    def _calibrate_concept(self, request: dict) -> dict:
+        """Fine-tuning: fit a concept from mask annotations on given slices.
+
+        ``annotations`` is a list of {"slice": int, "mask_rle": {...}} using
+        the RLE format the segment action exports.
+        """
+        from ..core.masks import rle_decode
+        from ..models.tuning import register_calibrated_concept
+
+        session = self._session(request)
+        if session.volume is None:
+            return {"ok": False, "type": "SessionError", "error": "calibrate_concept requires a loaded volume"}
+        word = str(request["word"])
+        images, masks = [], []
+        for ann in request["annotations"]:
+            z = int(ann["slice"])
+            _, seg_img = session.pipeline.adapt(session.volume.voxels[z])
+            images.append(seg_img)
+            masks.append(rle_decode(ann["mask_rle"]))
+        result = register_calibrated_concept(session.pipeline.dino.lexicon, word, images, masks)
+        return {
+            "word": word,
+            "separation": result.separation,
+            "bias": result.bias,
+            "channel_weights": result.channel_weights,
+        }
+
+    def _mask_png(self, request: dict) -> dict:
+        """Export the current mask overlay as base64 PNG (the UI download)."""
+        session = self._session(request)
+        mask = session.current_mask()
+        _, seg_img = session.pipeline.adapt(session.current_image())
+        rgb = overlay_mask(seg_img, mask)
+        png = encode_png(rgb)
+        return {"png_base64": base64.b64encode(png).decode("ascii"), "bytes": len(png)}

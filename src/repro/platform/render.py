@@ -1,0 +1,60 @@
+"""Figure composition: the artifact bundles the paper's figures show.
+
+These functions assemble the standard visual outputs (Fig. 3's qualitative
+comparison, Fig. 5's single-slice bundle) from pipeline results and write
+them as PNG via the from-scratch codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.results import SliceResult
+from ..io.png import write_png
+from ..viz.contact_sheet import contact_sheet
+from ..viz.overlay import draw_boxes, extract_segment, overlay_mask
+
+__all__ = ["render_comparison_figure", "render_slice_bundle", "save_figure"]
+
+
+def render_comparison_figure(
+    raw_images: list[np.ndarray],
+    method_masks: dict[str, list[np.ndarray]],
+    *,
+    row_labels: list[str] | None = None,
+) -> np.ndarray:
+    """Fig. 3: rows = samples, columns = raw + one overlay per method."""
+    rows: list[list[np.ndarray]] = []
+    captions: list[list[str]] = []
+    for i, raw in enumerate(raw_images):
+        row = [raw]
+        caps = [(row_labels[i] if row_labels else f"sample {i}")[:20]]
+        for name, masks in method_masks.items():
+            row.append(overlay_mask(raw, masks[i], label_index=list(method_masks).index(name)))
+            caps.append(name)
+        rows.append(row)
+        captions.append(caps)
+    return contact_sheet(rows, captions=captions)
+
+
+def render_slice_bundle(adapted_image: np.ndarray, result: SliceResult) -> np.ndarray:
+    """Fig. 5: DINO boxes | mask overlay | extracted segment, side by side."""
+    boxes_panel = (
+        draw_boxes(adapted_image, result.detection.boxes)
+        if result.detection.n_boxes
+        else adapted_image
+    )
+    overlay_panel = overlay_mask(adapted_image, result.mask)
+    extracted_panel = extract_segment(adapted_image, result.mask)
+    return contact_sheet(
+        [[boxes_panel, overlay_panel, extracted_panel]],
+        captions=[["dino", "overlay", "segment"]],
+    )
+
+
+def save_figure(path, figure: np.ndarray) -> None:
+    """Write a rendered figure (uint8 RGB or float gray) as PNG."""
+    arr = np.asarray(figure)
+    if arr.dtype != np.uint8:
+        arr = np.round(np.clip(arr, 0.0, 1.0) * 255).astype(np.uint8)
+    write_png(path, arr)

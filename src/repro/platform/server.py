@@ -1,0 +1,99 @@
+"""A stdlib HTTP server exposing the JSON API (the web app's backend).
+
+``POST /api`` with a JSON body → JSON response from :class:`ApiHandler`.
+``GET /`` serves a minimal landing page; ``GET /health`` a liveness probe.
+Built on :mod:`http.server` (offline environment: no web frameworks), one
+request at a time — matching the single-GPU inference server the paper
+deploys.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .api import ApiHandler
+
+__all__ = ["make_server", "PlatformServer"]
+
+_LANDING = b"""<!DOCTYPE html><html><head><title>Zenesis (repro)</title></head>
+<body><h1>Zenesis reproduction platform</h1>
+<p>POST JSON to <code>/api</code>: {"action": "create_session"} to begin.</p>
+</body></html>"""
+
+
+def _make_handler(api: ApiHandler):
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt, *args):  # quiet by default
+            pass
+
+        def _send(self, code: int, body: bytes, content_type: str) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):
+            if self.path == "/health":
+                self._send(200, b'{"status": "ok"}', "application/json")
+            elif self.path == "/":
+                self._send(200, _LANDING, "text/html")
+            else:
+                self._send(404, b'{"error": "not found"}', "application/json")
+
+        def do_POST(self):
+            if self.path != "/api":
+                self._send(404, b'{"error": "not found"}', "application/json")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                request = json.loads(self.rfile.read(length) or b"{}")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._send(400, json.dumps({"ok": False, "error": f"bad JSON: {exc}"}).encode(), "application/json")
+                return
+            response = api.handle(request)
+            self._send(200, json.dumps(response).encode(), "application/json")
+
+    return Handler
+
+
+class PlatformServer:
+    """Owns the HTTP server thread; use as a context manager in tests."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, api: ApiHandler | None = None) -> None:
+        self.api = api or ApiHandler()
+        self.httpd = ThreadingHTTPServer((host, port), _make_handler(self.api))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[:2]  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PlatformServer":
+        self._thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "PlatformServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def make_server(host: str = "127.0.0.1", port: int = 8765) -> PlatformServer:
+    """Convenience constructor used by the run-server example."""
+    return PlatformServer(host=host, port=port)

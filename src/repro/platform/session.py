@@ -1,0 +1,187 @@
+"""Platform sessions: the state behind one user's workspace.
+
+A session holds the loaded image/volume, the active pipeline, accumulated
+results, and the interactive sub-sessions (rectify, hierarchy).  The JSON
+API (:mod:`repro.platform.api`) is a thin, stateless translation layer over
+these objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..adapt.readiness import score_readiness
+from ..core.hierarchy import SegmentNode, further_segment
+from ..core.hitl import RectifySession
+from ..core.pipeline import ZenesisConfig, ZenesisPipeline
+from ..core.results import SliceResult, VolumeResult
+from ..data.image import ScientificImage
+from ..data.volume import ScientificVolume
+from ..errors import SessionError
+from ..io.formats import load_image_file
+
+__all__ = ["Session", "SessionStore"]
+
+_session_counter = itertools.count(1)
+
+
+@dataclass
+class Session:
+    """One user workspace: data + pipeline + results."""
+
+    session_id: str
+    pipeline: ZenesisPipeline
+    image: ScientificImage | None = None
+    volume: ScientificVolume | None = None
+    active_slice: int = 0
+    last_result: SliceResult | None = None
+    last_volume_result: VolumeResult | None = None
+    rectify: RectifySession | None = None
+    hierarchy_root: SegmentNode | None = None
+    history: list[dict] = field(default_factory=list)
+
+    # -- data loading ----------------------------------------------------------
+
+    def load_array(self, array: np.ndarray, *, modality: str = "unknown") -> dict:
+        """Load a 2-D image or 3-D volume from an in-memory array."""
+        arr = np.asarray(array)
+        if arr.ndim == 2 or (arr.ndim == 3 and arr.shape[2] in (3, 4)):
+            self.image = ScientificImage(pixels=arr, modality=modality)
+            self.volume = None
+        elif arr.ndim == 3:
+            self.volume = ScientificVolume(voxels=arr, modality=modality)
+            self.image = None
+            self.active_slice = 0
+        else:
+            raise SessionError(f"cannot interpret array of shape {arr.shape}")
+        self._reset_interactions()
+        self.history.append({"action": "load", "shape": list(arr.shape)})
+        return self.preview()
+
+    def load_file(self, path: str, *, modality: str = "unknown") -> dict:
+        """Load from disk (TIFF/PNG/npy/npz, sniffed by magic bytes)."""
+        return self.load_array(load_image_file(path), modality=modality)
+
+    def _reset_interactions(self) -> None:
+        self.last_result = None
+        self.last_volume_result = None
+        self.rectify = None
+        self.hierarchy_root = None
+
+    # -- introspection -----------------------------------------------------------
+
+    def current_image(self) -> ScientificImage:
+        """The active 2-D view (the image, or the selected volume slice)."""
+        if self.image is not None:
+            return self.image
+        if self.volume is not None:
+            return self.volume.slice_image(self.active_slice)
+        raise SessionError("no data loaded; call load first")
+
+    def preview(self) -> dict:
+        """Data summary + readiness scores (the UI's preview card)."""
+        if self.volume is not None:
+            desc: dict[str, Any] = self.volume.describe()
+            desc["kind"] = "volume"
+            desc["active_slice"] = self.active_slice
+        elif self.image is not None:
+            desc = self.image.describe()
+            desc["kind"] = "image"
+        else:
+            raise SessionError("no data loaded; call load first")
+        desc["readiness"] = score_readiness(self.current_image()).as_dict()
+        return desc
+
+    def select_slice(self, index: int) -> dict:
+        if self.volume is None:
+            raise SessionError("select_slice requires a loaded volume")
+        if not 0 <= index < self.volume.n_slices:
+            raise SessionError(f"slice {index} out of range [0, {self.volume.n_slices})")
+        self.active_slice = int(index)
+        return self.preview()
+
+    # -- Mode A -------------------------------------------------------------------
+
+    def segment(self, prompt: str, hints=None) -> SliceResult:
+        """Interactive segmentation of the active image/slice."""
+        result = self.pipeline.segment_image(self.current_image(), prompt, hints=hints)
+        self.last_result = result
+        self.rectify = None
+        self.history.append({"action": "segment", "prompt": prompt, "coverage": result.coverage})
+        return result
+
+    def rectify_click(self, x: float, y: float) -> dict:
+        """HITL rectification round at pixel (x, y)."""
+        if self.last_result is None:
+            raise SessionError("rectify requires a prior segment call")
+        if self.rectify is None:
+            _, seg_img = self.pipeline.adapt(self.current_image())
+            self.rectify = RectifySession(
+                self.pipeline.predictor, seg_img, initial_mask=self.last_result.mask
+            )
+        step = self.rectify.rectify((x, y))
+        self.history.append({"action": "rectify", "click": [x, y]})
+        return {
+            "added_area": int(step.added_mask.sum()),
+            "total_area": int(self.rectify.mask.sum()),
+            "candidates": step.candidate_count,
+        }
+
+    def current_mask(self) -> np.ndarray:
+        """The current working mask (rectified if a rectify round happened)."""
+        if self.rectify is not None:
+            return self.rectify.mask
+        if self.last_result is not None:
+            return self.last_result.mask
+        raise SessionError("no segmentation yet")
+
+    def further_segment(self, region, prompt: str) -> SegmentNode:
+        """Hierarchical re-segmentation of a sub-region of the active image."""
+        _, seg_img = self.pipeline.adapt(self.current_image())
+        if self.hierarchy_root is None:
+            self.hierarchy_root = SegmentNode(mask=self.current_mask(), prompt="(root)")
+        node = further_segment(self.pipeline, seg_img, region, prompt, parent=self.hierarchy_root)
+        self.history.append({"action": "further_segment", "prompt": prompt})
+        return node
+
+    # -- Mode B --------------------------------------------------------------------
+
+    def segment_volume(self, prompt: str, *, temporal: bool = True) -> VolumeResult:
+        if self.volume is None:
+            raise SessionError("segment_volume requires a loaded volume")
+        result = self.pipeline.segment_volume(self.volume, prompt, temporal=temporal)
+        self.last_volume_result = result
+        self.history.append(
+            {"action": "segment_volume", "prompt": prompt, "n_slices": result.n_slices}
+        )
+        return result
+
+
+class SessionStore:
+    """In-memory session registry keyed by id (the web app's state)."""
+
+    def __init__(self, *, pipeline_config: ZenesisConfig | None = None) -> None:
+        self._sessions: dict[str, Session] = {}
+        self._config = pipeline_config or ZenesisConfig()
+
+    def create(self) -> Session:
+        sid = f"s{next(_session_counter):06d}"
+        session = Session(session_id=sid, pipeline=ZenesisPipeline(self._config))
+        self._sessions[sid] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session {session_id!r}") from None
+
+    def drop(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)

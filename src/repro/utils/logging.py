@@ -1,0 +1,36 @@
+"""Structured logging configured once for the whole library.
+
+The platform layer streams these records to the browser console in the real
+product; here they go to stderr with a compact format.  Nothing in the library
+calls ``basicConfig`` implicitly — tests stay quiet unless they opt in.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("core.pipeline")`` → logger ``repro.core.pipeline``.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure(level: int | str = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the library root logger (idempotent)."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    return root

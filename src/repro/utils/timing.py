@@ -1,0 +1,124 @@
+"""Wall-clock instrumentation for pipeline stages.
+
+The paper advertises a *real-time* evaluation framework; the reproduction
+treats timing as a first-class output so the Fig. 2 workflow bench can report
+per-stage latencies.  Following the "no optimization without measuring" rule
+from the scientific-python optimisation guide, every pipeline exposes its
+:class:`StageProfiler` rather than ad-hoc prints.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageProfiler", "StageRecord"]
+
+
+class Timer:
+    """A minimal stopwatch based on :func:`time.perf_counter`.
+
+    Usable either as a context manager or via explicit ``start``/``stop``.
+    ``elapsed`` reports the latest completed interval in seconds.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StageRecord:
+    """Aggregate timing for one named stage."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def add(self, dt: float) -> None:
+        self.calls += 1
+        self.total_s += dt
+        self.min_s = min(self.min_s, dt)
+        self.max_s = max(self.max_s, dt)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+@dataclass
+class StageProfiler:
+    """Accumulates wall time per named stage across repeated pipeline runs."""
+
+    records: dict[str, StageRecord] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one execution of ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self.records.setdefault(name, StageRecord(name)).add(dt)
+
+    def merge(self, other: "StageProfiler") -> None:
+        """Fold another profiler's records into this one (for Mode B workers)."""
+        for name, rec in other.records.items():
+            mine = self.records.setdefault(name, StageRecord(name))
+            mine.calls += rec.calls
+            mine.total_s += rec.total_s
+            mine.min_s = min(mine.min_s, rec.min_s)
+            mine.max_s = max(mine.max_s, rec.max_s)
+
+    def total(self) -> float:
+        """Sum of all stage totals (>= true wall time when stages nest)."""
+        return sum(r.total_s for r in self.records.values())
+
+    def as_rows(self) -> list[dict]:
+        """Rows for the dashboard: stage, calls, total/mean/min/max seconds."""
+        return [
+            {
+                "stage": r.name,
+                "calls": r.calls,
+                "total_s": r.total_s,
+                "mean_s": r.mean_s,
+                "min_s": r.min_s,
+                "max_s": r.max_s,
+            }
+            for r in sorted(self.records.values(), key=lambda r: -r.total_s)
+        ]
+
+    def format_table(self) -> str:
+        """Fixed-width text table, largest total first."""
+        rows = self.as_rows()
+        if not rows:
+            return "(no stages recorded)"
+        header = f"{'stage':<28}{'calls':>7}{'total[s]':>11}{'mean[s]':>11}{'min[s]':>11}{'max[s]':>11}"
+        lines = [header, "-" * len(header)]
+        for r in rows:
+            lines.append(
+                f"{r['stage']:<28}{r['calls']:>7}{r['total_s']:>11.4f}"
+                f"{r['mean_s']:>11.4f}{r['min_s']:>11.4f}{r['max_s']:>11.4f}"
+            )
+        return "\n".join(lines)

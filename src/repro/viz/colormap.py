@@ -1,0 +1,69 @@
+"""Colormaps and color utilities (no matplotlib available offline).
+
+Provides a perceptually-ordered sequential map (a compact viridis-like
+anchor table, linearly interpolated), a categorical label palette, and
+gray→RGB conversion helpers.  All outputs are uint8 RGB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import ensure_2d
+
+__all__ = ["apply_colormap", "gray_to_rgb_u8", "LABEL_COLORS", "label_color", "VIRIDIS_ANCHORS"]
+
+#: Anchor colors of the sequential map (viridis-like), evenly spaced in [0,1].
+VIRIDIS_ANCHORS = np.array(
+    [
+        [68, 1, 84],
+        [71, 44, 122],
+        [59, 81, 139],
+        [44, 113, 142],
+        [33, 144, 141],
+        [39, 173, 129],
+        [92, 200, 99],
+        [170, 220, 50],
+        [253, 231, 37],
+    ],
+    dtype=np.float32,
+)
+
+#: Categorical palette for mask/box overlays (distinct hues, readable on gray).
+LABEL_COLORS: tuple[tuple[int, int, int], ...] = (
+    (231, 76, 60),  # red
+    (46, 204, 113),  # green
+    (52, 152, 219),  # blue
+    (241, 196, 15),  # yellow
+    (155, 89, 182),  # purple
+    (230, 126, 34),  # orange
+    (26, 188, 156),  # teal
+    (236, 64, 122),  # pink
+)
+
+
+def label_color(index: int) -> tuple[int, int, int]:
+    """Categorical color for label ``index`` (cycles)."""
+    return LABEL_COLORS[index % len(LABEL_COLORS)]
+
+
+def gray_to_rgb_u8(image: np.ndarray) -> np.ndarray:
+    """Float [0,1] grayscale → uint8 HxWx3."""
+    img = ensure_2d(image, "image")
+    u8 = np.round(np.clip(img, 0.0, 1.0) * 255.0).astype(np.uint8)
+    return np.repeat(u8[:, :, None], 3, axis=2)
+
+
+def apply_colormap(values: np.ndarray, *, vmin: float = 0.0, vmax: float = 1.0) -> np.ndarray:
+    """Map a scalar field to uint8 RGB through the sequential anchors."""
+    v = ensure_2d(values, "values").astype(np.float32)
+    if vmax <= vmin:
+        raise ValueError(f"vmax ({vmax}) must exceed vmin ({vmin})")
+    t = np.clip((v - vmin) / (vmax - vmin), 0.0, 1.0)
+    n = len(VIRIDIS_ANCHORS) - 1
+    pos = t * n
+    idx = np.minimum(pos.astype(np.intp), n - 1)
+    frac = (pos - idx)[..., None]
+    lo = VIRIDIS_ANCHORS[idx]
+    hi = VIRIDIS_ANCHORS[idx + 1]
+    return np.round(lo + frac * (hi - lo)).astype(np.uint8)

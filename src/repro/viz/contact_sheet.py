@@ -1,0 +1,64 @@
+"""Contact sheets: compose labelled panels into one figure (paper Fig. 3).
+
+The qualitative-comparison figure is a grid of (raw | Otsu | SAM-only |
+Zenesis) panels per sample kind; :func:`contact_sheet` lays arbitrary
+uint8-RGB panels out with captions and padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .plots import draw_text
+
+__all__ = ["contact_sheet"]
+
+
+def _to_rgb(panel: np.ndarray) -> np.ndarray:
+    arr = np.asarray(panel)
+    if arr.ndim == 2:
+        if arr.dtype != np.uint8:
+            arr = np.round(np.clip(arr, 0, 1) * 255).astype(np.uint8)
+        arr = np.repeat(arr[:, :, None], 3, axis=2)
+    if arr.dtype != np.uint8:
+        arr = np.round(np.clip(arr, 0, 255)).astype(np.uint8)
+    return arr
+
+
+def contact_sheet(
+    rows: list[list[np.ndarray]],
+    *,
+    captions: list[list[str]] | None = None,
+    pad: int = 8,
+    caption_h: int = 14,
+    background: tuple[int, int, int] = (245, 245, 245),
+) -> np.ndarray:
+    """Compose a grid of image panels (each HxW or HxWx3) into one image.
+
+    Panels may differ in size; cells adopt the row/column maxima.  Captions
+    (if given) render under each panel with the bitmap font.
+    """
+    if not rows or not rows[0]:
+        raise ValueError("contact_sheet needs at least one panel")
+    grid = [[_to_rgb(p) for p in row] for row in rows]
+    n_cols = max(len(r) for r in grid)
+    row_heights = [max(p.shape[0] for p in row) for row in grid]
+    col_widths = [0] * n_cols
+    for row in grid:
+        for j, p in enumerate(row):
+            col_widths[j] = max(col_widths[j], p.shape[1])
+    cap = caption_h if captions is not None else 0
+    total_h = sum(h + cap for h in row_heights) + pad * (len(grid) + 1)
+    total_w = sum(col_widths) + pad * (n_cols + 1)
+    sheet = np.empty((total_h, total_w, 3), dtype=np.uint8)
+    sheet[...] = background
+    y = pad
+    for i, row in enumerate(grid):
+        x = pad
+        for j, p in enumerate(row):
+            sheet[y : y + p.shape[0], x : x + p.shape[1]] = p
+            if captions is not None and i < len(captions) and j < len(captions[i]):
+                draw_text(sheet, y + row_heights[i] + 3, x, captions[i][j][:22], scale=1)
+            x += col_widths[j] + pad
+        y += row_heights[i] + cap + pad
+    return sheet

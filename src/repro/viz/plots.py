@@ -1,0 +1,133 @@
+"""A tiny chart rasteriser (no matplotlib offline): bars and labels to RGB.
+
+Enough for the dashboard's PNG exports: grouped bar charts with axis lines,
+tick marks, and a 5×7 bitmap font for labels.  Everything renders into a
+uint8 RGB canvas via rectangle fills.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bar_chart", "draw_text", "Canvas"]
+
+# 5x7 bitmap font for the characters chart labels need.
+_GLYPHS: dict[str, tuple[str, ...]] = {
+    "0": ("01110", "10001", "10011", "10101", "11001", "10001", "01110"),
+    "1": ("00100", "01100", "00100", "00100", "00100", "00100", "01110"),
+    "2": ("01110", "10001", "00001", "00110", "01000", "10000", "11111"),
+    "3": ("11110", "00001", "00001", "01110", "00001", "00001", "11110"),
+    "4": ("00010", "00110", "01010", "10010", "11111", "00010", "00010"),
+    "5": ("11111", "10000", "11110", "00001", "00001", "10001", "01110"),
+    "6": ("00110", "01000", "10000", "11110", "10001", "10001", "01110"),
+    "7": ("11111", "00001", "00010", "00100", "01000", "01000", "01000"),
+    "8": ("01110", "10001", "10001", "01110", "10001", "10001", "01110"),
+    "9": ("01110", "10001", "10001", "01111", "00001", "00010", "01100"),
+    ".": ("00000", "00000", "00000", "00000", "00000", "01100", "01100"),
+    "-": ("00000", "00000", "00000", "01110", "00000", "00000", "00000"),
+    "%": ("11001", "11010", "00010", "00100", "01000", "01011", "10011"),
+    " ": ("00000",) * 7,
+}
+# Uppercase letters, compact forms.
+_LETTERS = {
+    "A": ("01110", "10001", "10001", "11111", "10001", "10001", "10001"),
+    "C": ("01110", "10001", "10000", "10000", "10000", "10001", "01110"),
+    "D": ("11110", "10001", "10001", "10001", "10001", "10001", "11110"),
+    "E": ("11111", "10000", "10000", "11110", "10000", "10000", "11111"),
+    "I": ("01110", "00100", "00100", "00100", "00100", "00100", "01110"),
+    "M": ("10001", "11011", "10101", "10101", "10001", "10001", "10001"),
+    "N": ("10001", "11001", "10101", "10011", "10001", "10001", "10001"),
+    "O": ("01110", "10001", "10001", "10001", "10001", "10001", "01110"),
+    "R": ("11110", "10001", "10001", "11110", "10100", "10010", "10001"),
+    "S": ("01111", "10000", "10000", "01110", "00001", "00001", "11110"),
+    "T": ("11111", "00100", "00100", "00100", "00100", "00100", "00100"),
+    "U": ("10001", "10001", "10001", "10001", "10001", "10001", "01110"),
+    "Z": ("11111", "00001", "00010", "00100", "01000", "10000", "11111"),
+}
+_GLYPHS.update(_LETTERS)
+
+
+class Canvas:
+    """A uint8 RGB drawing surface with rectangle/text primitives."""
+
+    def __init__(self, height: int, width: int, *, background: tuple[int, int, int] = (255, 255, 255)) -> None:
+        self.array = np.empty((height, width, 3), dtype=np.uint8)
+        self.array[...] = background
+
+    def fill_rect(self, y0: int, x0: int, y1: int, x1: int, color: tuple[int, int, int]) -> None:
+        h, w = self.array.shape[:2]
+        y0, y1 = max(0, y0), min(h, y1)
+        x0, x1 = max(0, x0), min(w, x1)
+        if y0 < y1 and x0 < x1:
+            self.array[y0:y1, x0:x1] = color
+
+    def hline(self, y: int, x0: int, x1: int, color=(40, 40, 40)) -> None:
+        self.fill_rect(y, x0, y + 1, x1, color)
+
+    def vline(self, x: int, y0: int, y1: int, color=(40, 40, 40)) -> None:
+        self.fill_rect(y0, x, y1, x + 1, color)
+
+    def text(self, y: int, x: int, s: str, *, color=(40, 40, 40), scale: int = 1) -> None:
+        draw_text(self.array, y, x, s, color=color, scale=scale)
+
+
+def draw_text(canvas: np.ndarray, y: int, x: int, s: str, *, color=(40, 40, 40), scale: int = 1) -> None:
+    """Blit a string using the bitmap font (unknown chars render as space)."""
+    cx = x
+    for ch in s.upper():
+        glyph = _GLYPHS.get(ch, _GLYPHS[" "])
+        for gy, row in enumerate(glyph):
+            for gx, bit in enumerate(row):
+                if bit == "1":
+                    y0 = y + gy * scale
+                    x0 = cx + gx * scale
+                    if 0 <= y0 < canvas.shape[0] - scale + 1 and 0 <= x0 < canvas.shape[1] - scale + 1:
+                        canvas[y0 : y0 + scale, x0 : x0 + scale] = color
+        cx += (5 + 1) * scale
+
+
+def bar_chart(
+    groups: dict[str, dict[str, float]],
+    *,
+    height: int = 220,
+    bar_width: int = 26,
+    colors: list[tuple[int, int, int]] | None = None,
+    y_max: float = 1.0,
+) -> np.ndarray:
+    """Grouped bar chart: {group: {series: value}} → uint8 RGB image.
+
+    Designed for metric comparisons (values in [0, y_max]).  Labels are the
+    group names (truncated); a legend is left to the HTML dashboard.
+    """
+    from .colormap import LABEL_COLORS
+
+    if not groups:
+        raise ValueError("bar_chart needs at least one group")
+    series = list(next(iter(groups.values())))
+    colors = colors or list(LABEL_COLORS)
+    margin_l, margin_b, margin_t = 40, 28, 12
+    gap, group_gap = 4, 18
+    group_w = len(series) * (bar_width + gap) + group_gap
+    width = margin_l + len(groups) * group_w + 10
+    canvas = Canvas(height, width)
+    plot_h = height - margin_b - margin_t
+    base_y = height - margin_b
+
+    # Axes + ticks.
+    canvas.vline(margin_l - 2, margin_t, base_y + 1)
+    canvas.hline(base_y, margin_l - 2, width - 4)
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = int(base_y - frac * plot_h)
+        canvas.hline(y, margin_l - 5, margin_l - 2)
+        canvas.text(y - 3, 2, f"{frac * y_max:.2f}"[:4], scale=1)
+
+    x = margin_l + group_gap // 2
+    for gname, vals in groups.items():
+        for si, sname in enumerate(series):
+            v = float(np.clip(vals.get(sname, 0.0) / y_max, 0.0, 1.0))
+            bh = int(v * plot_h)
+            canvas.fill_rect(base_y - bh, x, base_y, x + bar_width, colors[si % len(colors)])
+            x += bar_width + gap
+        canvas.text(base_y + 6, x - len(series) * (bar_width + gap), gname[:8], scale=1)
+        x += group_gap
+    return canvas.array

@@ -1,0 +1,94 @@
+"""Tests for the denoisers and unsharp masking."""
+
+import numpy as np
+import pytest
+
+from repro.adapt.denoise import (
+    denoise_bilateral,
+    denoise_gaussian,
+    denoise_median,
+    denoise_nlm,
+    unsharp_mask,
+)
+from repro.data.synthesis.phantoms import two_phase_phantom
+
+
+def _noisy_edge(rng, sigma=0.08):
+    img, mask = two_phase_phantom((48, 48), top=0.2, bottom=0.8)
+    noisy = np.clip(img + rng.normal(scale=sigma, size=img.shape), 0, 1)
+    return img, noisy, mask
+
+
+@pytest.mark.parametrize(
+    "fn,kwargs",
+    [
+        (denoise_gaussian, {"sigma": 1.2}),
+        (denoise_median, {"size": 3}),
+        (denoise_bilateral, {"sigma_spatial": 1.5, "sigma_range": 0.2}),
+        (denoise_nlm, {"search_radius": 3, "h": 0.15}),
+    ],
+)
+class TestAllDenoisers:
+    def test_reduces_noise(self, fn, kwargs, rng):
+        clean, noisy, _ = _noisy_edge(rng)
+        out = fn(noisy, **kwargs)
+        assert np.abs(out - clean).mean() < np.abs(noisy - clean).mean()
+
+    def test_shape_dtype(self, fn, kwargs, rng):
+        _, noisy, _ = _noisy_edge(rng)
+        out = fn(noisy, **kwargs)
+        assert out.shape == noisy.shape
+        assert out.dtype == np.float32
+
+
+class TestEdgePreservation:
+    def test_bilateral_beats_gaussian_on_edges(self, rng):
+        clean, noisy, mask = _noisy_edge(rng)
+        gauss = denoise_gaussian(noisy, sigma=2.0)
+        bilat = denoise_bilateral(noisy, sigma_spatial=2.0, sigma_range=0.15)
+        # Compare the edge sharpness (intensity jump across the boundary).
+        row = 24  # the boundary row
+        jump_g = gauss[row + 2].mean() - gauss[row - 3].mean()
+        jump_b = bilat[row + 2].mean() - bilat[row - 3].mean()
+        assert jump_b > jump_g
+
+    def test_median_removes_salt_noise(self, rng):
+        img = np.full((32, 32), 0.5)
+        img[rng.random((32, 32)) < 0.05] = 1.0  # salt
+        out = denoise_median(img, size=3)
+        assert (out == 1.0).sum() < (img == 1.0).sum() * 0.2
+
+
+class TestParameterValidation:
+    def test_median_even_size(self):
+        with pytest.raises(ValueError):
+            denoise_median(np.zeros((8, 8)), size=4)
+
+    def test_nlm_even_patch(self):
+        with pytest.raises(ValueError):
+            denoise_nlm(np.zeros((8, 8)), patch_size=2)
+
+    def test_gaussian_bad_sigma(self):
+        with pytest.raises(Exception):
+            denoise_gaussian(np.zeros((8, 8)), sigma=0)
+
+
+class TestUnsharp:
+    def test_sharpens_blurred_edge(self):
+        from scipy.ndimage import gaussian_filter
+
+        img, _ = two_phase_phantom((48, 48), top=0.2, bottom=0.8)
+        blurred = gaussian_filter(img, 2.0)
+        sharp = unsharp_mask(blurred, amount=2.0, sigma=2.0)
+        grad_blur = np.abs(np.diff(blurred, axis=0)).max()
+        grad_sharp = np.abs(np.diff(sharp, axis=0)).max()
+        assert grad_sharp > grad_blur
+
+    def test_clips_to_unit_range(self, rng):
+        img = rng.random((16, 16)).astype(np.float32)
+        out = unsharp_mask(img, amount=5.0)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_zero_amount_identity(self, rng):
+        img = rng.random((16, 16)).astype(np.float32)
+        assert np.allclose(unsharp_mask(img, amount=0.0), img, atol=1e-6)

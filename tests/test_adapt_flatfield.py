@@ -1,0 +1,65 @@
+"""Tests for sample-aware flat-field correction."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import gaussian_filter
+
+from repro.adapt.denoise import flatfield_correct
+from repro.data.synthesis.shapes import raster_band_below, smooth_noise_2d
+
+
+def _shaded_scene(rng, gradient=0.2):
+    """Dark background over a film with a lateral illumination gradient."""
+    h, w = 96, 96
+    film = raster_band_below((h, w), np.full(w, 40.0))
+    img = np.full((h, w), 0.03)
+    img[film] = 0.55
+    illum = 1.0 + gradient * smooth_noise_2d((h, w), rng, scale=30, amplitude=1.0)
+    img[film] *= illum[film]
+    return np.clip(img, 0, 1).astype(np.float32), film
+
+
+class TestFlatfield:
+    def test_reduces_sample_variation(self, rng):
+        img, film = _shaded_scene(rng)
+        out = flatfield_correct(img, sigma=24)
+        # Smooth (large-scale) variation in the film interior must shrink;
+        # evaluate away from the interface, whose step dominates blur stats.
+        interior = film.copy()
+        interior[:55] = False
+        smooth_in = gaussian_filter(img, 12)
+        smooth_out = gaussian_filter(out, 12)
+        assert smooth_out[interior].std() < smooth_in[interior].std() * 0.8
+
+    def test_background_untouched(self, rng):
+        img, film = _shaded_scene(rng)
+        out = flatfield_correct(img, sigma=24)
+        assert np.abs(out[~film] - img[~film]).max() < 0.02
+
+    def test_mean_roughly_preserved(self, rng):
+        img, film = _shaded_scene(rng)
+        out = flatfield_correct(img, sigma=24)
+        assert out[film].mean() == pytest.approx(img[film].mean(), abs=0.05)
+
+    def test_uniform_image_stable(self):
+        img = np.full((64, 64), 0.5, dtype=np.float32)
+        out = flatfield_correct(img)
+        assert np.abs(out - img).max() < 0.05
+
+    def test_output_range(self, rng):
+        img, _ = _shaded_scene(rng, gradient=0.5)
+        out = flatfield_correct(img)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_local_contrast_preserved(self, rng):
+        # A small bright particle keeps its local contrast after correction.
+        img, film = _shaded_scene(rng)
+        img[60:66, 40:46] = 0.8
+        out = flatfield_correct(img, sigma=24)
+        local_before = img[62, 42] - img[62, 30]
+        local_after = out[62, 42] - out[62, 30]
+        assert local_after > 0.5 * local_before
+
+    def test_parameter_validation(self):
+        with pytest.raises(Exception):
+            flatfield_correct(np.zeros((8, 8)), sigma=0)

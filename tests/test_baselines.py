@@ -1,0 +1,133 @@
+"""Tests for the baseline methods: Otsu (+multi-level), SAM-only, classical."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.classical import (
+    adaptive_threshold_segment,
+    kmeans_segment,
+    watershed_segment,
+)
+from repro.baselines.otsu import (
+    multi_otsu_segment,
+    multi_otsu_thresholds,
+    otsu_segment,
+    otsu_threshold,
+)
+from repro.baselines.sam_only import SamOnlyBaseline, SamOnlyConfig
+from repro.errors import ValidationError
+from repro.metrics.overlap import iou
+
+
+class TestOtsu:
+    def test_bimodal_threshold_between_modes(self, rng):
+        img = np.where(rng.random((64, 64)) < 0.5, 0.2, 0.8).astype(np.float32)
+        img += rng.normal(scale=0.02, size=img.shape).astype(np.float32)
+        t = otsu_threshold(np.clip(img, 0, 1))
+        assert 0.3 < t < 0.7
+
+    def test_segment_disk(self, disk):
+        img, gt = disk
+        assert iou(otsu_segment(img, normalize=False), gt) > 0.9
+
+    def test_otsu_trap_on_fibsem(self, crystalline_sample):
+        # The paper's Table 1 failure: Otsu grabs the whole film, so IoU
+        # against the catalyst equals roughly the catalyst's film share.
+        raw = crystalline_sample.volume.voxels[0]
+        pred = otsu_segment(raw)
+        gt = crystalline_sample.catalyst_mask[0]
+        film = crystalline_sample.film_mask[0]
+        assert (pred & film).sum() / film.sum() > 0.9  # grabs the film
+        trap = gt.sum() / film.sum()
+        assert iou(pred, gt) == pytest.approx(trap, abs=0.1)
+
+    def test_multi_otsu_three_phase(self, rng):
+        img = np.concatenate(
+            [np.full((20, 60), 0.1), np.full((20, 60), 0.5), np.full((20, 60), 0.9)]
+        )
+        img = np.clip(img + rng.normal(scale=0.02, size=img.shape), 0, 1)
+        t1, t2 = multi_otsu_thresholds(img, classes=3)
+        assert 0.15 < t1 < 0.45
+        assert 0.55 < t2 < 0.85
+
+    def test_multi_otsu_segment_brightest(self, rng):
+        img = np.concatenate(
+            [np.full((20, 60), 0.1), np.full((20, 60), 0.5), np.full((20, 60), 0.9)]
+        )
+        img = np.clip(img + rng.normal(scale=0.02, size=img.shape), 0, 1)
+        pred = multi_otsu_segment(img, normalize=False)
+        gt = np.zeros((60, 60), dtype=bool)
+        gt[40:] = True
+        assert iou(pred, gt) > 0.9
+
+    def test_multi_otsu_four_classes(self, rng):
+        img = np.concatenate(
+            [np.full((15, 40), v) for v in (0.1, 0.35, 0.65, 0.9)]
+        )
+        img = np.clip(img + rng.normal(scale=0.015, size=img.shape), 0, 1)
+        ts = multi_otsu_thresholds(img, classes=4)
+        assert len(ts) == 3
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_multi_otsu_classes_validated(self):
+        with pytest.raises(ValidationError):
+            multi_otsu_thresholds(np.zeros((4, 4)), classes=5)
+
+
+class TestSamOnly:
+    def test_crystalline_catastrophic(self, crystalline_sample):
+        # The paper's Table 2 crystalline failure: the black background wins.
+        baseline = SamOnlyBaseline(SamOnlyConfig(points_per_side=6))
+        pred = baseline.segment(crystalline_sample.volume.voxels[0])
+        gt = crystalline_sample.catalyst_mask[0]
+        assert iou(pred, gt) < 0.2
+
+    def test_returns_single_mask(self, amorphous_sample):
+        baseline = SamOnlyBaseline(SamOnlyConfig(points_per_side=6))
+        pred = baseline.segment(amorphous_sample.volume.voxels[0])
+        assert pred.dtype == bool
+        assert pred.shape == (128, 128)
+
+    def test_all_masks_inspectable(self, amorphous_sample):
+        baseline = SamOnlyBaseline(SamOnlyConfig(points_per_side=4))
+        records = baseline.all_masks(amorphous_sample.volume.voxels[0])
+        assert records and "predicted_iou" in records[0]
+
+    def test_empty_image_graceful(self):
+        baseline = SamOnlyBaseline(SamOnlyConfig(points_per_side=2))
+        pred = baseline.segment(np.full((64, 64), 0.5, dtype=np.float32), normalize=False)
+        assert pred.shape == (64, 64)
+
+
+class TestClassical:
+    def test_kmeans_disk(self, disk):
+        img, gt = disk
+        assert iou(kmeans_segment(img, k=2, normalize=False), gt) > 0.9
+
+    def test_kmeans_k_validated(self):
+        with pytest.raises(ValidationError):
+            kmeans_segment(np.zeros((4, 4)), k=1)
+
+    def test_adaptive_threshold_finds_local_structure(self):
+        # Gradient background defeats global thresholds; local wins.
+        yy, xx = np.mgrid[0:64, 0:64]
+        img = 0.2 + 0.4 * xx / 64.0
+        gt = np.zeros((64, 64), dtype=bool)
+        gt[10:20, 5:15] = True
+        gt[40:50, 45:55] = True
+        img = np.where(gt, img + 0.2, img)
+        pred = adaptive_threshold_segment(img, window=15, offset=0.1, normalize=False)
+        assert iou(pred, gt) > 0.5
+
+    def test_adaptive_window_validated(self):
+        with pytest.raises(ValidationError):
+            adaptive_threshold_segment(np.zeros((8, 8)), window=4)
+
+    def test_watershed_disk(self, disk):
+        img, gt = disk
+        pred = watershed_segment(img, normalize=False)
+        assert iou(pred, gt) > 0.7
+
+    def test_watershed_flat_image(self):
+        pred = watershed_segment(np.full((32, 32), 0.5), normalize=False)
+        assert pred.shape == (32, 32)

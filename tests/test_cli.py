@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.tiff import write_tiff
+from repro.io.volume_io import load_volume_bundle
+
+
+@pytest.fixture()
+def volume_file(amorphous_sample, tmp_path):
+    path = tmp_path / "vol.tif"
+    write_tiff(path, amorphous_sample.volume.voxels)
+    return path
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("segment", "batch", "evaluate", "synthesize", "serve", "readiness"):
+            args = parser.parse_args(
+                {
+                    "segment": ["segment", "x.tif", "catalyst"],
+                    "batch": ["batch", "x.tif", "catalyst"],
+                    "evaluate": ["evaluate"],
+                    "synthesize": ["synthesize", "crystalline", "out.npz"],
+                    "serve": ["serve"],
+                    "readiness": ["readiness", "x.tif"],
+                }[cmd]
+            )
+            assert args.command == cmd
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSegment:
+    def test_single_slice(self, volume_file, tmp_path, capsys):
+        out = tmp_path / "masks.npz"
+        overlay = tmp_path / "overlay.png"
+        rc = main(
+            [
+                "segment",
+                str(volume_file),
+                "catalyst particles",
+                "--slice",
+                "0",
+                "--out",
+                str(out),
+                "--overlay",
+                str(overlay),
+            ]
+        )
+        assert rc == 0
+        with np.load(out) as data:
+            assert data["mask"].any()
+            assert data["boxes"].shape[1] == 4
+        assert overlay.stat().st_size > 500
+        assert "coverage" in capsys.readouterr().out
+
+    def test_whole_volume(self, volume_file, tmp_path, capsys):
+        out = tmp_path / "vol_masks.npz"
+        rc = main(["segment", str(volume_file), "catalyst particles", "--out", str(out)])
+        assert rc == 0
+        vol, masks, meta = load_volume_bundle(out)
+        assert masks is not None and masks.any()
+        assert meta["prompt"] == "catalyst particles"
+
+
+class TestBatch:
+    def test_batch_runs(self, volume_file, tmp_path, capsys):
+        out = tmp_path / "b.npz"
+        rc = main(["batch", str(volume_file), "catalyst particles", "--out", str(out), "--no-temporal"])
+        assert rc == 0
+        assert "volume fraction" in capsys.readouterr().out
+
+    def test_batch_rejects_2d(self, tmp_path, rng):
+        img = tmp_path / "img.tif"
+        write_tiff(img, rng.integers(0, 255, (32, 32)).astype(np.uint8))
+        assert main(["batch", str(img), "catalyst"]) == 2
+
+
+class TestSynthesizeAndReadiness:
+    def test_synthesize_npz_with_gt(self, tmp_path, capsys):
+        out = tmp_path / "syn.npz"
+        rc = main(["synthesize", "crystalline", str(out), "--size", "64", "--slices", "2", "--with-gt"])
+        assert rc == 0
+        vol, masks, meta = load_volume_bundle(out)
+        assert vol.shape == (2, 64, 64)
+        assert masks is not None
+        assert meta["kind"] == "crystalline"
+
+    def test_synthesize_tiff(self, tmp_path):
+        out = tmp_path / "syn.tif"
+        rc = main(["synthesize", "amorphous", str(out), "--size", "64", "--slices", "2"])
+        assert rc == 0
+        from repro.io.tiff import read_tiff
+
+        assert read_tiff(out).shape == (2, 64, 64)
+
+    def test_readiness(self, volume_file, capsys):
+        rc = main(["readiness", str(volume_file)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "overall" in report and report["is_ready"] is False
+
+
+class TestEvaluate:
+    def test_evaluate_otsu_small(self, tmp_path, capsys):
+        dash = tmp_path / "dash.html"
+        rc = main(
+            ["evaluate", "--methods", "otsu", "--size", "64", "--slices", "1", "--dashboard", str(dash)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Average Performance Metrics" in out
+        assert dash.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,145 @@
+"""Tests for HITL rectification (Fig. 6) and Further Segment (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import SegmentNode, further_segment
+from repro.core.hitl import RectifyConfig, RectifySession, SimulatedAnnotator
+from repro.core.pipeline import ZenesisPipeline
+from repro.errors import SessionError, ValidationError
+from repro.metrics.overlap import iou
+from repro.models.registry import build_sam
+from repro.models.sam.model import SamPredictor
+
+
+@pytest.fixture()
+def seg_setup(pipeline, amorphous_sample):
+    """(seg_img, gt, initial incomplete mask) on an amorphous slice."""
+    _, seg_img = pipeline.adapt(amorphous_sample.volume.voxels[0])
+    gt = amorphous_sample.catalyst_mask[0]
+    return seg_img, gt
+
+
+class TestRectifySession:
+    def test_propose_boxes_full_width(self, seg_setup):
+        seg_img, _ = seg_setup
+        sess = RectifySession(SamPredictor(build_sam()), seg_img)
+        boxes = sess.propose_boxes()
+        assert len(boxes) == sess.config.n_candidates
+        assert (boxes[:, 0] == 0).all()  # paper's full-width criterion
+
+    def test_rectify_adds_clicked_structure(self, seg_setup):
+        seg_img, gt = seg_setup
+        sess = RectifySession(SamPredictor(build_sam()), seg_img)
+        ys, xs = np.nonzero(gt)
+        idx = len(ys) // 2
+        step = sess.rectify((float(xs[idx]), float(ys[idx])))
+        assert step.added_mask.any()
+        assert sess.mask.any()
+        # The added segment is catalyst-dominated.
+        assert (step.added_mask & gt).sum() / step.added_mask.sum() > 0.5
+
+    def test_mask_accumulates(self, seg_setup):
+        seg_img, gt = seg_setup
+        sess = RectifySession(SamPredictor(build_sam()), seg_img)
+        ys, xs = np.nonzero(gt)
+        sess.rectify((float(xs[0]), float(ys[0])))
+        first = sess.mask.sum()
+        sess.rectify((float(xs[-1]), float(ys[-1])))
+        assert sess.mask.sum() >= first
+        assert len(sess.steps) == 2
+
+    def test_click_outside_rejected(self, seg_setup):
+        seg_img, _ = seg_setup
+        sess = RectifySession(SamPredictor(build_sam()), seg_img)
+        with pytest.raises(SessionError):
+            sess.rectify((500.0, 500.0))
+
+    def test_initial_mask_preserved(self, seg_setup):
+        seg_img, gt = seg_setup
+        initial = np.zeros_like(gt)
+        initial[0:5, 0:5] = True
+        sess = RectifySession(SamPredictor(build_sam()), seg_img, initial_mask=initial)
+        assert sess.mask[2, 2]
+
+    def test_hitl_loop_improves_iou(self, seg_setup):
+        # The Fig. 6 experiment in miniature: oracle clicks raise IoU.
+        seg_img, gt = seg_setup
+        sess = RectifySession(
+            SamPredictor(build_sam()), seg_img, config=RectifyConfig(n_candidates=16)
+        )
+        annotator = SimulatedAnnotator(gt_mask=gt)
+        start = iou(sess.mask, gt)
+        for _ in range(4):
+            click = annotator.next_click(sess.mask)
+            if click is None:
+                break
+            sess.rectify(click)
+        assert iou(sess.mask, gt) > start
+
+
+class TestSimulatedAnnotator:
+    def test_click_lands_on_missing_region(self, amorphous_sample):
+        gt = amorphous_sample.catalyst_mask[0]
+        ann = SimulatedAnnotator(gt_mask=gt)
+        click = ann.next_click(np.zeros_like(gt))
+        assert click is not None
+        x, y = click
+        # Centroid of the largest missing component is near catalyst.
+        assert gt[int(y), int(x)] or gt[max(int(y) - 3, 0) : int(y) + 3, max(int(x) - 3, 0) : int(x) + 3].any()
+
+    def test_converged_returns_none(self, amorphous_sample):
+        gt = amorphous_sample.catalyst_mask[0]
+        ann = SimulatedAnnotator(gt_mask=gt)
+        assert ann.next_click(gt.copy()) is None
+
+    def test_small_missing_ignored(self):
+        gt = np.zeros((32, 32), dtype=bool)
+        gt[5, 5] = True
+        ann = SimulatedAnnotator(gt_mask=gt, min_missing_area=30)
+        assert ann.next_click(np.zeros_like(gt)) is None
+
+
+class TestFurtherSegment:
+    def test_subregion_segmentation(self, amorphous_sample):
+        pipe = ZenesisPipeline()
+        _, seg_img = pipe.adapt(amorphous_sample.volume.voxels[0])
+        gt = amorphous_sample.catalyst_mask[0]
+        node = further_segment(pipe, seg_img, np.array([10.0, 64.0, 120.0, 127.0]), "catalyst particles")
+        assert isinstance(node, SegmentNode)
+        # Output mask is confined to the (padded) region.
+        ys, xs = np.nonzero(node.mask)
+        if ys.size:
+            assert ys.min() >= 50
+        assert node.depth == 0
+
+    def test_tree_structure(self, amorphous_sample):
+        pipe = ZenesisPipeline()
+        _, seg_img = pipe.adapt(amorphous_sample.volume.voxels[0])
+        root = SegmentNode(mask=np.zeros((128, 128), dtype=bool), prompt="(root)")
+        child = further_segment(
+            pipe, seg_img, np.array([10.0, 64.0, 120.0, 127.0]), "catalyst", parent=root
+        )
+        assert child.depth == 1
+        assert root.n_descendants == 1
+        assert list(root.walk())[0] is root
+
+    def test_mask_region_input(self, amorphous_sample):
+        pipe = ZenesisPipeline()
+        _, seg_img = pipe.adapt(amorphous_sample.volume.voxels[0])
+        region = np.zeros((128, 128), dtype=bool)
+        region[70:120, 20:100] = True
+        node = further_segment(pipe, seg_img, region, "catalyst particles")
+        assert node.box is not None
+
+    def test_tiny_region_rejected(self, amorphous_sample):
+        pipe = ZenesisPipeline()
+        _, seg_img = pipe.adapt(amorphous_sample.volume.voxels[0])
+        with pytest.raises(ValidationError, match="too small"):
+            further_segment(pipe, seg_img, np.array([10.0, 10.0, 20.0, 20.0]), "catalyst", margin=0)
+
+    def test_empty_region_mask_rejected(self, amorphous_sample):
+        pipe = ZenesisPipeline()
+        _, seg_img = pipe.adapt(amorphous_sample.volume.voxels[0])
+        with pytest.raises(ValidationError, match="empty"):
+            further_segment(pipe, seg_img, np.zeros((128, 128), dtype=bool), "catalyst")

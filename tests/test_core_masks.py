@@ -1,0 +1,152 @@
+"""Tests for mask operations (RLE, components, morphology, stability)."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import (
+    clean_mask,
+    component_containing,
+    connected_components,
+    largest_component,
+    mask_boundary,
+    masks_iou,
+    rle_decode,
+    rle_encode,
+    stability_score,
+)
+from repro.errors import ValidationError
+
+
+class TestRle:
+    def test_roundtrip_random(self, rng):
+        m = rng.random((17, 23)) > 0.5
+        assert np.array_equal(rle_decode(rle_encode(m)), m)
+
+    def test_roundtrip_empty_and_full(self):
+        for m in (np.zeros((5, 7), dtype=bool), np.ones((5, 7), dtype=bool)):
+            assert np.array_equal(rle_decode(rle_encode(m)), m)
+
+    def test_counts_start_with_background(self):
+        m = np.ones((3, 3), dtype=bool)
+        rle = rle_encode(m)
+        assert rle["counts"][0] == 0  # leading background run of zero
+
+    def test_column_major_convention(self):
+        m = np.zeros((2, 3), dtype=bool)
+        m[0, 0] = True  # first pixel in column-major order
+        assert rle_encode(m)["counts"][0] == 0
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            rle_decode({"size": [4, 4], "counts": [3, 3]})
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            rle_encode(np.zeros((2, 2, 2), dtype=bool))
+
+
+class TestComponents:
+    def test_sorted_by_area(self):
+        m = np.zeros((20, 20), dtype=bool)
+        m[1:3, 1:3] = True  # 4 px
+        m[10:16, 10:16] = True  # 36 px
+        comps = connected_components(m)
+        assert len(comps) == 2
+        assert comps[0].sum() == 36
+
+    def test_min_area_filter(self):
+        m = np.zeros((10, 10), dtype=bool)
+        m[0, 0] = True
+        m[5:8, 5:8] = True
+        assert len(connected_components(m, min_area=5)) == 1
+
+    def test_empty(self):
+        assert connected_components(np.zeros((4, 4), dtype=bool)) == []
+
+    def test_largest_component(self):
+        m = np.zeros((10, 10), dtype=bool)
+        m[0:2, 0:2] = True
+        m[5:9, 5:9] = True
+        assert largest_component(m).sum() == 16
+
+    def test_component_containing(self):
+        m = np.zeros((10, 10), dtype=bool)
+        m[0:2, 0:2] = True
+        m[5:9, 5:9] = True
+        comp = component_containing(m, (6, 6))
+        assert comp is not None and comp.sum() == 16
+
+    def test_component_containing_miss(self):
+        m = np.zeros((10, 10), dtype=bool)
+        m[0:2, 0:2] = True
+        assert component_containing(m, (5, 5)) is None
+        assert component_containing(m, (50, 50)) is None
+
+
+class TestBoundaryMorphology:
+    def test_boundary_of_square(self):
+        m = np.zeros((10, 10), dtype=bool)
+        m[2:8, 2:8] = True
+        b = mask_boundary(m)
+        assert b.sum() == 20  # perimeter of 6x6 block
+        assert not b[4, 4]
+
+    def test_boundary_empty(self):
+        assert not mask_boundary(np.zeros((5, 5), dtype=bool)).any()
+
+    def test_clean_removes_dust(self):
+        m = np.zeros((20, 20), dtype=bool)
+        m[10:16, 10:16] = True
+        m[0, 0] = True  # dust
+        out = clean_mask(m, open_radius=0, close_radius=0, min_area=4)
+        assert not out[0, 0]
+        assert out[12, 12]
+
+    def test_clean_fills_holes(self):
+        m = np.zeros((20, 20), dtype=bool)
+        m[5:15, 5:15] = True
+        m[9:11, 9:11] = False
+        out = clean_mask(m, open_radius=0, close_radius=0, fill_holes=True)
+        assert out[10, 10]
+
+    def test_opening_removes_thin_bridge(self):
+        m = np.zeros((20, 20), dtype=bool)
+        m[5:10, 2:8] = True
+        m[7, 8:12] = True  # 1-px bridge
+        m[5:10, 12:18] = True
+        out = clean_mask(m, open_radius=1, close_radius=0)
+        assert not out[7, 9]
+
+
+class TestStability:
+    def test_large_block_stable(self):
+        # erode/dilate IoU of a 30px block at 2 iterations lands near 0.59;
+        # what matters is the large gap to thin structures (below).
+        m = np.zeros((40, 40), dtype=bool)
+        m[5:35, 5:35] = True
+        assert 0.55 < stability_score(m) < 0.65
+
+    def test_thin_line_unstable(self):
+        m = np.zeros((40, 40), dtype=bool)
+        m[20, 5:35] = True
+        assert stability_score(m) < 0.1
+
+    def test_empty_zero(self):
+        assert stability_score(np.zeros((5, 5), dtype=bool)) == 0.0
+
+
+class TestMasksIoU:
+    def test_identical(self, rng):
+        m = rng.random((10, 10)) > 0.5
+        assert masks_iou(m, m) == 1.0
+
+    def test_disjoint(self):
+        a = np.zeros((4, 4), dtype=bool)
+        b = np.zeros((4, 4), dtype=bool)
+        a[0, 0] = True
+        b[3, 3] = True
+        assert masks_iou(a, b) == 0.0
+
+    def test_both_empty(self):
+        z = np.zeros((4, 4), dtype=bool)
+        assert masks_iou(z, z) == 0.0  # convention: no union -> 0 here

@@ -1,0 +1,81 @@
+"""Tests for per-pixel uncertainty and the uncertainty-guided annotator."""
+
+import numpy as np
+import pytest
+
+from repro.core.uncertainty import UncertaintyAnnotator, mean_confidence, uncertainty_map
+from repro.errors import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def slice_result(request):
+    pipeline = request.getfixturevalue("pipeline")
+    sample = request.getfixturevalue("amorphous_sample")
+    return pipeline.segment_image(sample.volume.slice_image(0), "catalyst particles")
+
+
+class TestUncertaintyMap:
+    def test_range_and_shape(self, slice_result):
+        unc = uncertainty_map(slice_result)
+        assert unc.shape == slice_result.mask.shape
+        assert unc.min() >= 0.0 and unc.max() <= 1.0
+
+    def test_boundaries_more_uncertain_than_interior(self, slice_result, amorphous_sample):
+        from scipy.ndimage import binary_erosion
+
+        unc = uncertainty_map(slice_result)
+        m = slice_result.mask
+        interior = binary_erosion(m, iterations=4, border_value=0)
+        boundary_band = m & ~interior
+        if interior.any() and boundary_band.any():
+            assert unc[boundary_band].mean() > unc[interior].mean()
+
+    def test_far_background_certain(self, slice_result, amorphous_sample):
+        unc = uncertainty_map(slice_result)
+        bg = ~amorphous_sample.film_mask[0]
+        # Deep background: grounding is decisively negative there.
+        assert unc[bg].mean() < 0.4
+
+    def test_relevance_weight_validated(self, slice_result):
+        with pytest.raises(EvaluationError):
+            uncertainty_map(slice_result, relevance_weight=2.0)
+
+    def test_weight_extremes_differ(self, slice_result):
+        a = uncertainty_map(slice_result, relevance_weight=0.0)
+        b = uncertainty_map(slice_result, relevance_weight=1.0)
+        assert not np.allclose(a, b)
+
+
+class TestMeanConfidence:
+    def test_scalar_in_range(self, slice_result):
+        c = mean_confidence(slice_result)
+        assert 0.0 <= c <= 1.0
+
+
+class TestUncertaintyAnnotator:
+    def test_clicks_explore(self, slice_result):
+        ann = UncertaintyAnnotator()
+        clicks = []
+        for _ in range(4):
+            click = ann.next_click(slice_result)
+            if click is None:
+                break
+            clicks.append(click)
+        assert clicks, "an imperfect segmentation must have uncertain regions"
+        assert len(set(clicks)) == len(clicks), "visited regions must not repeat"
+
+    def test_click_lands_on_uncertain_pixel(self, slice_result):
+        ann = UncertaintyAnnotator()
+        click = ann.next_click(slice_result)
+        assert click is not None
+        x, y = click
+        unc = uncertainty_map(slice_result)
+        assert unc[int(y), int(x)] >= ann.uncertainty_floor
+
+    def test_converges_to_none(self, slice_result):
+        ann = UncertaintyAnnotator()
+        for _ in range(200):
+            if ann.next_click(slice_result) is None:
+                break
+        else:
+            pytest.fail("annotator never ran out of uncertain regions")

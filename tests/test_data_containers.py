@@ -1,0 +1,113 @@
+"""Tests for ScientificImage and ScientificVolume containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.image import MODALITIES, ScientificImage, infer_bit_depth
+from repro.data.volume import ScientificVolume
+from repro.errors import ValidationError
+
+
+class TestInferBitDepth:
+    @pytest.mark.parametrize(
+        "dtype,depth",
+        [(np.uint8, 8), (np.uint16, 16), (np.uint32, 32), (np.float32, 32)],
+    )
+    def test_known(self, dtype, depth):
+        assert infer_bit_depth(np.zeros((2, 2), dtype=dtype)) == depth
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            infer_bit_depth(np.zeros((2, 2), dtype=np.complex64))
+
+
+class TestScientificImage:
+    def test_basic(self):
+        img = ScientificImage(np.zeros((4, 5), dtype=np.uint16), modality="fibsem")
+        assert img.height == 4 and img.width == 5
+        assert img.bit_depth == 16
+        assert not img.is_rgb
+
+    def test_rgb(self):
+        img = ScientificImage(np.zeros((4, 5, 3), dtype=np.uint8))
+        assert img.is_rgb
+
+    def test_bad_shape(self):
+        with pytest.raises(ValidationError):
+            ScientificImage(np.zeros((4,)))
+
+    def test_bad_modality(self):
+        with pytest.raises(ValidationError, match="modality"):
+            ScientificImage(np.zeros((4, 4), dtype=np.uint8), modality="nope")
+
+    def test_as_float_uint16(self):
+        arr = np.full((2, 2), 65535, dtype=np.uint16)
+        img = ScientificImage(arr)
+        f = img.as_float()
+        assert f.dtype == np.float32
+        assert f.max() == pytest.approx(1.0)
+
+    def test_as_float_clips_floats(self):
+        img = ScientificImage(np.array([[2.0, -1.0]], dtype=np.float32))
+        f = img.as_float()
+        assert f.min() >= 0.0 and f.max() <= 1.0
+
+    def test_with_pixels_appends_history(self):
+        img = ScientificImage(np.zeros((2, 2), dtype=np.uint8))
+        out = img.with_pixels(np.ones((2, 2), dtype=np.float32), "normalize")
+        assert out.history == ("normalize",)
+        assert img.history == ()  # original untouched
+        assert out.bit_depth == 32  # re-inferred from float
+
+    def test_describe_json_safe(self):
+        import json
+
+        img = ScientificImage(np.arange(6, dtype=np.uint8).reshape(2, 3), modality="sem")
+        json.dumps(img.describe())
+
+    def test_modalities_include_future_work(self):
+        # The paper names XRD/STM/EDX as extension targets.
+        for m in ("xrd", "stm", "edx"):
+            assert m in MODALITIES
+
+
+class TestScientificVolume:
+    def test_basic(self):
+        vol = ScientificVolume(np.zeros((3, 4, 5), dtype=np.uint16), voxel_size_nm=(20, 5, 5))
+        assert vol.n_slices == 3
+        assert vol.anisotropy == pytest.approx(4.0)
+
+    def test_anisotropy_none_without_voxel_size(self):
+        assert ScientificVolume(np.zeros((2, 2, 2), dtype=np.uint8)).anisotropy is None
+
+    def test_slice_image_view(self):
+        data = np.arange(24, dtype=np.uint8).reshape(2, 3, 4)
+        vol = ScientificVolume(data, modality="fibsem", voxel_size_nm=(20, 5, 5))
+        sl = vol.slice_image(1)
+        assert np.array_equal(sl.pixels, data[1])
+        assert sl.pixel_size_nm == (5, 5)
+        assert sl.metadata["slice_index"] == 1
+        assert sl.modality == "fibsem"
+
+    def test_slice_negative_index(self):
+        vol = ScientificVolume(np.zeros((3, 2, 2), dtype=np.uint8))
+        assert vol.slice_image(-1).metadata["slice_index"] == 2
+
+    def test_slice_out_of_range(self):
+        vol = ScientificVolume(np.zeros((3, 2, 2), dtype=np.uint8))
+        with pytest.raises(ValidationError):
+            vol.slice_image(3)
+
+    def test_iter_slices(self):
+        vol = ScientificVolume(np.zeros((3, 2, 2), dtype=np.uint8))
+        assert len(list(vol.iter_slices())) == 3
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            ScientificVolume(np.zeros((4, 4)))
+
+    def test_describe_json_safe(self):
+        import json
+
+        vol = ScientificVolume(np.zeros((2, 3, 4), dtype=np.uint16))
+        json.dumps(vol.describe())

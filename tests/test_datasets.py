@@ -1,0 +1,66 @@
+"""Tests for the 20-slice benchmark dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import AnnotatedSlice, make_benchmark_dataset, make_sample
+from repro.errors import ValidationError
+
+
+class TestMakeSample:
+    def test_kind_validated(self):
+        with pytest.raises(ValidationError):
+            make_sample("liquid")
+
+    def test_overrides_pass_through(self):
+        s = make_sample("crystalline", shape=(64, 64), n_slices=2, needle_count=5)
+        assert s.config.needle_count == 5
+
+    def test_kind_specific_seeds_differ(self):
+        c = make_sample("crystalline", shape=(64, 64), n_slices=1)
+        a = make_sample("amorphous", shape=(64, 64), n_slices=1)
+        assert c.config.seed != a.config.seed
+
+
+class TestBenchmarkDataset:
+    def test_paper_protocol_counts(self, mini_dataset):
+        # 2 slices per kind in the mini variant; the full dataset is 10+10.
+        assert len(mini_dataset) == 4
+        assert len(mini_dataset.by_kind("crystalline")) == 2
+        assert len(mini_dataset.by_kind("amorphous")) == 2
+
+    def test_bad_kind(self, mini_dataset):
+        with pytest.raises(ValidationError):
+            mini_dataset.by_kind("unknown")
+
+    def test_slices_annotated(self, mini_dataset):
+        for sl in mini_dataset:
+            assert isinstance(sl, AnnotatedSlice)
+            assert sl.gt_mask.shape == sl.image.pixels.shape
+            assert sl.gt_mask.dtype == bool
+            assert sl.image.modality == "fibsem"
+
+    def test_names_unique(self, mini_dataset):
+        names = [sl.name for sl in mini_dataset]
+        assert len(set(names)) == len(names)
+
+    def test_deterministic(self):
+        a = make_benchmark_dataset(shape=(64, 64), n_slices=1)
+        b = make_benchmark_dataset(shape=(64, 64), n_slices=1)
+        assert np.array_equal(a.slices[0].image.pixels, b.slices[0].image.pixels)
+
+    def test_gt_mismatch_rejected(self, mini_dataset):
+        sl = mini_dataset.slices[0]
+        with pytest.raises(ValidationError):
+            AnnotatedSlice(
+                image=sl.image,
+                gt_mask=np.zeros((3, 3), dtype=bool),
+                sample_kind=sl.sample_kind,
+                slice_index=0,
+                volume_id="x",
+            )
+
+    def test_full_default_is_20_slices(self):
+        # Construct lazily at tiny shape to keep this quick.
+        ds = make_benchmark_dataset(shape=(64, 64))
+        assert len(ds) == 20

@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast ones run here (the table-reproduction example is exercised by
+the benchmark suite).  Each runs in a subprocess exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 420) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "metrics:" in result.stdout
+        assert (EXAMPLES / "_output" / "quickstart_overlay.png").exists()
+
+    def test_run_server_selftest(self):
+        result = _run("run_server.py", "--selftest")
+        assert result.returncode == 0, result.stderr
+        assert "selftest OK" in result.stdout
+
+    def test_cli_module_entry(self, tmp_path):
+        out = tmp_path / "syn.npz"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "synthesize",
+                "amorphous",
+                str(out),
+                "--size",
+                "64",
+                "--slices",
+                "1",
+                "--with-gt",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert out.exists()

@@ -1,0 +1,69 @@
+"""Tests for format sniffing and the universal loader."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.io.formats import load_image_file, sniff_format
+from repro.io.png import write_png
+from repro.io.tiff import write_tiff
+
+
+class TestSniff:
+    def test_tiff(self, rng, tmp_path):
+        p = tmp_path / "a.dat"  # wrong extension on purpose
+        write_tiff(p, rng.integers(0, 255, (4, 4)).astype(np.uint8))
+        assert sniff_format(p) == "tiff"
+
+    def test_png(self, rng, tmp_path):
+        p = tmp_path / "b.bin"
+        write_png(p, rng.integers(0, 255, (4, 4)).astype(np.uint8))
+        assert sniff_format(p) == "png"
+
+    def test_npy(self, tmp_path):
+        p = tmp_path / "c.npy"
+        np.save(p, np.zeros((3, 3)))
+        assert sniff_format(p) == "npy"
+
+    def test_npz(self, tmp_path):
+        p = tmp_path / "d.npz"
+        np.savez(p, x=np.zeros((3, 3)))
+        assert sniff_format(p) == "npz"
+
+    def test_unknown(self, tmp_path):
+        p = tmp_path / "e.xyz"
+        p.write_bytes(b"garbage-data")
+        with pytest.raises(FormatError, match="unrecognised"):
+            sniff_format(p)
+
+
+class TestLoad:
+    def test_load_tiff_volume(self, rng, tmp_path):
+        vol = rng.integers(0, 65535, (3, 6, 7)).astype(np.uint16)
+        p = tmp_path / "v.tif"
+        write_tiff(p, vol)
+        assert np.array_equal(load_image_file(p), vol)
+
+    def test_load_png(self, rng, tmp_path):
+        img = rng.integers(0, 255, (6, 7)).astype(np.uint8)
+        p = tmp_path / "i.png"
+        write_png(p, img)
+        assert np.array_equal(load_image_file(p), img)
+
+    def test_load_npy(self, tmp_path):
+        arr = np.arange(12).reshape(3, 4)
+        p = tmp_path / "a.npy"
+        np.save(p, arr)
+        assert np.array_equal(load_image_file(p), arr)
+
+    def test_load_npz_single_array(self, tmp_path):
+        arr = np.arange(6).reshape(2, 3)
+        p = tmp_path / "a.npz"
+        np.savez(p, only=arr)
+        assert np.array_equal(load_image_file(p), arr)
+
+    def test_load_npz_multiple_arrays_rejected(self, tmp_path):
+        p = tmp_path / "m.npz"
+        np.savez(p, a=np.zeros(2), b=np.zeros(2))
+        with pytest.raises(FormatError, match="exactly one"):
+            load_image_file(p)

@@ -1,0 +1,98 @@
+"""Tests for the from-scratch TIFF codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ValidationError
+from repro.io.tiff import read_tiff, read_tiff_pages, write_tiff
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32, np.float32])
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_gray_2d(self, dtype, compress, rng, tmp_path):
+        if np.dtype(dtype).kind == "f":
+            arr = rng.random((13, 17)).astype(dtype)
+        else:
+            arr = rng.integers(0, np.iinfo(dtype).max, (13, 17)).astype(dtype)
+        path = tmp_path / "x.tif"
+        write_tiff(path, arr, compress=compress)
+        back = read_tiff(path)
+        assert back.dtype == arr.dtype
+        assert np.array_equal(back, arr)
+
+    def test_multipage_volume(self, rng, tmp_path):
+        vol = rng.integers(0, 65535, (5, 9, 11)).astype(np.uint16)
+        path = tmp_path / "v.tif"
+        write_tiff(path, vol, compress=True)
+        back = read_tiff(path)
+        assert back.shape == vol.shape
+        assert np.array_equal(back, vol)
+
+    def test_rgb_page(self, rng, tmp_path):
+        img = rng.integers(0, 255, (21, 14, 3)).astype(np.uint8)
+        path = tmp_path / "rgb.tif"
+        write_tiff(path, img)
+        back = read_tiff(path)
+        assert back.shape == img.shape
+        assert np.array_equal(back, img)
+
+    def test_description_and_resolution(self, rng, tmp_path):
+        arr = rng.integers(0, 255, (8, 8)).astype(np.uint8)
+        path = tmp_path / "meta.tif"
+        write_tiff(path, arr, description="FIB-SEM slice", resolution=(2e6, 4e6))
+        pages = read_tiff_pages(path)
+        assert len(pages) == 1
+        _, info = pages[0]
+        assert info.description == "FIB-SEM slice"
+        assert info.resolution is not None
+        assert info.resolution[0] == pytest.approx(2e6, rel=1e-3)
+        assert info.resolution[1] == pytest.approx(4e6, rel=1e-3)
+
+    def test_page_info_fields(self, rng, tmp_path):
+        arr = rng.integers(0, 65535, (6, 7)).astype(np.uint16)
+        path = tmp_path / "i.tif"
+        write_tiff(path, arr, compress=True)
+        _, info = read_tiff_pages(path)[0]
+        assert (info.width, info.height) == (7, 6)
+        assert info.bits_per_sample == 16
+        assert info.compression == 8
+        assert info.dtype == np.uint16
+
+
+class TestValidation:
+    def test_unsupported_dtype(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_tiff(tmp_path / "x.tif", np.zeros((4, 4), dtype=np.int64))
+
+    def test_not_a_tiff(self, tmp_path):
+        path = tmp_path / "no.tif"
+        path.write_bytes(b"hello world, definitely not a tiff")
+        with pytest.raises(FormatError, match="byte-order"):
+            read_tiff(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "t.tif"
+        path.write_bytes(b"II*\x00")
+        with pytest.raises(FormatError):
+            read_tiff(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "m.tif"
+        path.write_bytes(b"II\x2b\x00" + b"\x00" * 16)  # BigTIFF magic 43
+        with pytest.raises(FormatError, match="magic"):
+            read_tiff(path)
+
+    def test_heterogeneous_pages_need_pages_api(self, rng, tmp_path):
+        # Write two valid single-page files and splice? Simpler: the writer
+        # always emits homogeneous stacks, so emulate by writing pages of
+        # different dtypes via two writes is impossible — instead check that
+        # read_tiff on homogeneous input returns ndarray (covered above) and
+        # that read_tiff_pages returns per-page arrays.
+        vol = rng.integers(0, 255, (3, 5, 6)).astype(np.uint8)
+        path = tmp_path / "v.tif"
+        write_tiff(path, vol)
+        pages = read_tiff_pages(path)
+        assert len(pages) == 3
+        for z, (arr, _) in enumerate(pages):
+            assert np.array_equal(arr, vol[z])

@@ -1,0 +1,145 @@
+"""Coverage for corners the focused suites skip: logging, errors, results,
+render, DINO internals, big-endian TIFF."""
+
+import logging
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors
+from repro.core.results import SliceResult, VolumeResult
+from repro.errors import ValidationError
+from repro.io.tiff import read_tiff
+from repro.models.dino import GroundingDino
+from repro.platform.render import render_comparison_figure, render_slice_bundle, save_figure
+from repro.utils.logging import configure, get_logger
+
+
+class TestLogging:
+    def test_namespace(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core.pipeline").name == "repro.core.pipeline"
+
+    def test_configure_idempotent(self):
+        root = configure(logging.DEBUG)
+        n = len(root.handlers)
+        configure(logging.DEBUG)
+        assert len(root.handlers) == n
+
+    def test_messages_flow(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            get_logger("test").info("hello from %s", "tests")
+        assert "hello from tests" in caplog.text
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError)
+
+    def test_dual_inheritance(self):
+        assert issubclass(errors.ValidationError, ValueError)
+        assert issubclass(errors.PipelineError, RuntimeError)
+        assert issubclass(errors.GroundingError, errors.PipelineError)
+
+    def test_version_exported(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestResultContainers:
+    def test_volume_result_validation(self, pipeline, amorphous_sample):
+        r = pipeline.segment_image(amorphous_sample.volume.slice_image(0), "catalyst particles")
+        with pytest.raises(ValidationError):
+            VolumeResult(masks=np.zeros((2, 4, 4), dtype=bool), slice_results=(r,))
+        with pytest.raises(ValidationError):
+            VolumeResult(masks=np.zeros((4, 4), dtype=bool), slice_results=())
+
+    def test_slice_result_coverage(self, pipeline, amorphous_sample):
+        r = pipeline.segment_image(amorphous_sample.volume.slice_image(0), "catalyst particles")
+        assert r.coverage == pytest.approx(r.mask.mean())
+        record = r.to_record()
+        assert record["mask_rle"]["size"] == [128, 128]
+
+
+class TestRender:
+    def test_slice_bundle_panels(self, pipeline, amorphous_sample, tmp_path):
+        sl = amorphous_sample.volume.slice_image(0)
+        _, seg_img = pipeline.adapt(sl)
+        result = pipeline.segment_image(sl, "catalyst particles")
+        fig = render_slice_bundle(seg_img, result)
+        assert fig.ndim == 3
+        out = tmp_path / "bundle.png"
+        save_figure(out, fig)
+        assert out.stat().st_size > 1000
+
+    def test_comparison_figure_row_per_sample(self, rng):
+        raws = [rng.random((32, 32)), rng.random((32, 32))]
+        masks = {"m1": [r > 0.5 for r in raws]}
+        fig = render_comparison_figure(raws, masks, row_labels=["a", "b"])
+        # Two rows of 32px panels + padding/captions.
+        assert fig.shape[0] > 64
+
+    def test_save_figure_float_input(self, tmp_path, rng):
+        out = tmp_path / "f.png"
+        save_figure(out, rng.random((16, 16)))
+        assert out.exists()
+
+
+class TestDinoInternals:
+    def test_encode_text_weights_sum_to_one(self):
+        dino = GroundingDino()
+        enc, q, weights = dino.encode_text("catalyst particles")
+        assert q.shape == (2, dino.config.embed_dim)
+        assert weights.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_encode_image_token_count(self, rng):
+        dino = GroundingDino()
+        grid, k = dino.encode_image(rng.random((64, 64)).astype(np.float32))
+        assert k.shape == (grid.tokens.shape[0], dino.config.embed_dim)
+
+    def test_alignment_preserves_dot_products(self):
+        dino = GroundingDino()
+        a = np.eye(dino._align.shape[0], dtype=np.float32)
+        proj = a @ dino._align
+        gram = proj @ proj.T
+        assert np.allclose(gram, np.eye(len(a)), atol=1e-4)
+
+
+class TestBigEndianTiff:
+    def test_reads_motorola_order(self, tmp_path):
+        """Hand-assemble a minimal big-endian (MM) TIFF and read it."""
+        h, w = 3, 4
+        pixels = np.arange(h * w, dtype=">u2")
+        data = pixels.tobytes()
+
+        entries = []
+
+        def entry(tag, typ, count, value):
+            entries.append(struct.pack(">HHI", tag, typ, count) + struct.pack(">I", value))
+
+        header = b"MM\x00*" + struct.pack(">I", 8)
+        # IFD at offset 8; pixel data after IFD.
+        n_entries = 8
+        ifd_size = 2 + n_entries * 12 + 4
+        data_offset = 8 + ifd_size
+        entry(256, 4, 1, w)  # width
+        entry(257, 4, 1, h)  # height
+        entry(258, 3, 1, 16 << 16)  # bits (SHORT left-justified in BE)
+        entry(259, 3, 1, 1 << 16)  # no compression
+        entry(262, 3, 1, 1 << 16)  # BlackIsZero
+        entry(273, 4, 1, data_offset)  # strip offset
+        entry(278, 4, 1, h)  # rows per strip
+        entry(279, 4, 1, len(data))  # strip byte count
+        ifd = struct.pack(">H", n_entries) + b"".join(entries) + struct.pack(">I", 0)
+        path = tmp_path / "be.tif"
+        path.write_bytes(header + ifd + data)
+
+        arr = read_tiff(path)
+        assert arr.shape == (h, w)
+        assert arr.dtype == np.uint16
+        assert np.array_equal(arr.ravel(), np.arange(h * w))

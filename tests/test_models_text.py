@@ -1,0 +1,74 @@
+"""Tests for the tokenizer and concept lexicon."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PromptError
+from repro.models.features import FEATURE_NAMES
+from repro.models.text import ConceptLexicon, default_lexicon, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Catalyst Particles!") == ["catalyst", "particles"]
+
+    def test_stopwords_dropped(self):
+        assert tokenize("segment all of the catalyst in this image") == ["catalyst"]
+
+    def test_numbers_kept(self):
+        assert "2" in tokenize("phase 2 region")
+
+    def test_non_string(self):
+        with pytest.raises(PromptError):
+            tokenize(42)  # type: ignore[arg-type]
+
+
+class TestLexicon:
+    def test_known_domain_words(self):
+        lex = default_lexicon()
+        for word in ("catalyst", "needle", "background", "membrane", "bright"):
+            assert word in lex
+
+    def test_encode_unit_vectors(self):
+        enc = default_lexicon().encode("catalyst particles")
+        assert enc.n_tokens == 2
+        norms = np.linalg.norm(enc.vectors, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+
+    def test_unknown_words_reported(self):
+        enc = default_lexicon().encode("segment the flibbertigibbet")
+        assert enc.n_tokens == 0
+        assert "flibbertigibbet" in enc.ungrounded
+
+    def test_empty_prompt_raises(self):
+        with pytest.raises(PromptError):
+            default_lexicon().encode("the of a")
+
+    def test_synonyms_share_vector(self):
+        lex = default_lexicon()
+        a = lex.encode("needle").vectors[0]
+        b = lex.encode("crystalline").vectors[0]
+        assert np.allclose(a, b)
+
+    def test_opposing_concepts_anticorrelated(self):
+        lex = default_lexicon()
+        bright = lex.encode("bright").vectors[0]
+        dark = lex.encode("dark background").vectors
+        assert (dark @ bright < 0).all()
+
+    def test_add_custom_concept(self):
+        lex = default_lexicon()
+        vec = np.zeros(len(FEATURE_NAMES), dtype=np.float32)
+        vec[FEATURE_NAMES.index("edge")] = 1.0
+        lex.add("crack", vec)
+        enc = lex.encode("crack")
+        assert enc.n_tokens == 1
+
+    def test_add_bad_vector(self):
+        lex = default_lexicon()
+        with pytest.raises(PromptError):
+            lex.add("bad", np.zeros(3))
+
+    def test_custom_entries_validated_on_init(self):
+        with pytest.raises(PromptError):
+            ConceptLexicon({"x": np.zeros(2, dtype=np.float32)})

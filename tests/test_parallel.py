@@ -1,0 +1,132 @@
+"""Tests for shared memory, slice scheduling, and the worker pool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.pool import default_worker_count, run_partitioned
+from repro.parallel.scheduler import SlicePartition, block_partition, cyclic_partition
+from repro.parallel.sharedmem import SharedArraySpec, SharedNDArray
+
+
+class TestSharedNDArray:
+    def test_create_and_fill(self, rng):
+        data = rng.random((4, 8, 8)).astype(np.float32)
+        with SharedNDArray.from_array(data) as shm:
+            assert np.array_equal(shm.array, data)
+            assert shm.spec.shape == (4, 8, 8)
+
+    def test_attach_sees_writes(self, rng):
+        data = rng.random((16,)).astype(np.float64)
+        owner = SharedNDArray.from_array(data)
+        try:
+            worker = SharedNDArray.attach(owner.spec)
+            worker.array[0] = 42.0
+            assert owner.array[0] == 42.0
+            worker.close()
+        finally:
+            owner.unlink()
+
+    def test_fill_shape_mismatch(self):
+        with pytest.raises(ParallelError):
+            SharedNDArray.create((4,), np.float32, fill=np.zeros(5))
+
+    def test_attach_missing_segment(self):
+        with pytest.raises(ParallelError):
+            SharedNDArray.attach(SharedArraySpec(name="nonexistent_xyz", shape=(2,), dtype="<f4"))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ParallelError):
+            SharedNDArray.create((0,), np.float32)
+
+
+class TestScheduler:
+    def test_block_covers_all_slices_once(self):
+        parts = block_partition(10, 3)
+        owned = [z for p in parts for z in p.owned]
+        assert sorted(owned) == list(range(10))
+
+    def test_block_sizes_balanced(self):
+        parts = block_partition(10, 3)
+        sizes = [len(p.owned) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_block_halo_reaches_backwards(self):
+        parts = block_partition(10, 2, halo=3)
+        assert parts[0].halo == ()
+        assert parts[1].halo == (2, 3, 4)
+        assert parts[1].owned[0] == 5
+
+    def test_halo_clipped_at_zero(self):
+        parts = block_partition(4, 2, halo=10)
+        assert parts[1].halo == (0, 1)
+
+    def test_all_slices_ordering(self):
+        p = SlicePartition(worker=0, owned=(5, 6), halo=(3, 4))
+        assert p.all_slices == (3, 4, 5, 6)
+
+    def test_more_workers_than_slices(self):
+        parts = block_partition(2, 8)
+        assert len(parts) == 2
+
+    def test_cyclic_round_robin(self):
+        parts = cyclic_partition(7, 3)
+        assert parts[0].owned == (0, 3, 6)
+        assert parts[1].owned == (1, 4)
+        assert all(p.halo == () for p in parts)
+
+    def test_invalid_args(self):
+        with pytest.raises(ParallelError):
+            block_partition(0, 2)
+        with pytest.raises(ParallelError):
+            cyclic_partition(5, 0)
+
+
+def _square_worker(partition, spec):
+    """Module-level worker: square owned slices of a shared vector."""
+    shm = SharedNDArray.attach(spec)
+    try:
+        for z in partition.owned:
+            shm.array[z] = shm.array[z] ** 2
+        return {"worker": partition.worker, "n": len(partition.owned)}
+    finally:
+        shm.close()
+
+
+def _failing_worker(partition, spec):
+    raise RuntimeError(f"worker {partition.worker} exploded")
+
+
+class TestPool:
+    def test_default_worker_count(self):
+        assert 1 <= default_worker_count() <= 4
+
+    def test_single_partition_runs_inline(self):
+        data = np.arange(4, dtype=np.float64)
+        with SharedNDArray.from_array(data) as shm:
+            results = run_partitioned(_square_worker, block_partition(4, 1), shm.spec)
+            assert results[0]["n"] == 4
+            assert np.array_equal(shm.array, data**2)
+
+    def test_multiprocess_partitions(self):
+        data = np.arange(8, dtype=np.float64)
+        with SharedNDArray.from_array(data) as shm:
+            results = run_partitioned(_square_worker, block_partition(8, 2), shm.spec)
+            assert len(results) == 2
+            assert np.array_equal(shm.array, data**2)
+
+    def test_results_ordered_by_worker(self):
+        data = np.arange(6, dtype=np.float64)
+        with SharedNDArray.from_array(data) as shm:
+            results = run_partitioned(_square_worker, block_partition(6, 3), shm.spec)
+            assert [r["worker"] for r in results] == [0, 1, 2]
+
+    def test_worker_error_propagates(self):
+        data = np.zeros(4)
+        with SharedNDArray.from_array(data) as shm:
+            with pytest.raises(ParallelError, match="exploded"):
+                run_partitioned(_failing_worker, block_partition(4, 2), shm.spec)
+
+    def test_empty_partitions_rejected(self):
+        with pytest.raises(ParallelError):
+            run_partitioned(_square_worker, [])

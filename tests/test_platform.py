@@ -1,0 +1,194 @@
+"""Tests for the platform layer: sessions, modes, JSON API, HTTP server."""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.errors import SessionError
+from repro.io.tiff import write_tiff
+from repro.platform.api import ApiHandler
+from repro.platform.modes import ModeA, ModeB
+from repro.platform.server import PlatformServer
+from repro.platform.session import SessionStore
+
+
+@pytest.fixture()
+def store():
+    return SessionStore()
+
+
+@pytest.fixture()
+def loaded_session(store, amorphous_sample):
+    session = store.create()
+    session.load_array(amorphous_sample.volume.voxels, modality="fibsem")
+    return session
+
+
+class TestSession:
+    def test_create_unique_ids(self, store):
+        a, b = store.create(), store.create()
+        assert a.session_id != b.session_id
+        assert len(store) == 2
+
+    def test_get_unknown(self, store):
+        with pytest.raises(SessionError):
+            store.get("nope")
+
+    def test_drop(self, store):
+        s = store.create()
+        store.drop(s.session_id)
+        with pytest.raises(SessionError):
+            store.get(s.session_id)
+
+    def test_load_volume_preview(self, loaded_session):
+        preview = loaded_session.preview()
+        assert preview["kind"] == "volume"
+        assert "readiness" in preview
+
+    def test_load_image(self, store, amorphous_sample):
+        s = store.create()
+        preview = s.load_array(amorphous_sample.volume.voxels[0])
+        assert preview["kind"] == "image"
+
+    def test_preview_before_load(self, store):
+        with pytest.raises(SessionError):
+            store.create().preview()
+
+    def test_select_slice(self, loaded_session):
+        loaded_session.select_slice(2)
+        assert loaded_session.active_slice == 2
+        with pytest.raises(SessionError):
+            loaded_session.select_slice(99)
+
+    def test_segment_and_rectify_flow(self, loaded_session):
+        result = loaded_session.segment("catalyst particles")
+        assert result.mask.any()
+        info = loaded_session.rectify_click(64.0, 100.0)
+        assert info["total_area"] >= result.mask.sum() - 1
+        assert loaded_session.current_mask().any()
+
+    def test_rectify_requires_segment(self, loaded_session):
+        with pytest.raises(SessionError):
+            loaded_session.rectify_click(10, 10)
+
+    def test_history_records_actions(self, loaded_session):
+        loaded_session.segment("catalyst particles")
+        actions = [h["action"] for h in loaded_session.history]
+        assert actions[0] == "load" and "segment" in actions
+
+
+class TestModes:
+    def test_mode_a_wraps_session(self, loaded_session):
+        mode_a = ModeA(loaded_session)
+        mode_a.select_slice(1)
+        result = mode_a.segment("catalyst particles")
+        assert result.mask.shape == (128, 128)
+
+    def test_mode_b_parallel(self, loaded_session):
+        mode_b = ModeB(loaded_session)
+        masks, report = mode_b.segment_volume_parallel("catalyst particles", n_workers=2)
+        assert masks.shape == loaded_session.volume.shape
+        assert report.n_workers == 2
+
+
+class TestApi:
+    def test_full_workflow(self, amorphous_sample, tmp_path):
+        path = tmp_path / "vol.tif"
+        write_tiff(path, amorphous_sample.volume.voxels)
+        api = ApiHandler()
+        sid = api.handle({"action": "create_session"})["session_id"]
+        r = api.handle({"action": "load_file", "session_id": sid, "path": str(path)})
+        assert r["ok"] and r["preview"]["kind"] == "volume"
+        r = api.handle({"action": "segment", "session_id": sid, "prompt": "catalyst particles"})
+        assert r["ok"] and r["result"]["coverage"] > 0
+        r = api.handle({"action": "segment_volume", "session_id": sid, "prompt": "catalyst particles"})
+        assert r["ok"] and r["n_slices"] == amorphous_sample.n_slices
+        r = api.handle({"action": "mask_png", "session_id": sid})
+        assert r["ok"] and r["bytes"] > 100
+
+    def test_unknown_action(self):
+        r = ApiHandler().handle({"action": "fly_to_moon"})
+        assert not r["ok"] and r["type"] == "UnknownAction"
+
+    def test_error_shape(self):
+        api = ApiHandler()
+        r = api.handle({"action": "preview", "session_id": "missing"})
+        assert not r["ok"] and r["type"] == "SessionError"
+
+    def test_responses_json_safe(self, amorphous_sample):
+        api = ApiHandler()
+        sid = api.handle({"action": "create_session"})["session_id"]
+        session = api.store.get(sid)
+        session.load_array(amorphous_sample.volume.voxels[0])
+        for req in (
+            {"action": "preview", "session_id": sid},
+            {"action": "segment", "session_id": sid, "prompt": "catalyst particles"},
+            {"action": "adapt_spec", "session_id": sid, "steps": [{"step": "stretch"}]},
+        ):
+            json.dumps(api.handle(req))
+
+    def test_segment_with_hints(self, amorphous_sample):
+        api = ApiHandler()
+        sid = api.handle({"action": "create_session"})["session_id"]
+        api.store.get(sid).load_array(amorphous_sample.volume.voxels[0])
+        r = api.handle(
+            {
+                "action": "segment",
+                "session_id": sid,
+                "prompt": "catalyst particles",
+                "positive_points": [[64, 100]],
+            }
+        )
+        assert r["ok"]
+
+    def test_evaluate_and_dashboard(self):
+        api = ApiHandler()
+        r = api.handle({"action": "evaluate", "shape": [96, 96], "n_slices": 1, "methods": ["otsu"]})
+        assert r["ok"] and "otsu" in r["evaluations"]
+        r2 = api.handle({"action": "dashboard"})
+        assert r2["ok"] and r2["html"].startswith("<!DOCTYPE html>")
+
+    def test_dashboard_requires_evaluate(self):
+        r = ApiHandler().handle({"action": "dashboard"})
+        assert not r["ok"]
+
+
+class TestServer:
+    def _post(self, url, payload):
+        req = urllib.request.Request(
+            url + "/api", data=json.dumps(payload).encode(), headers={"Content-Type": "application/json"}
+        )
+        return json.loads(urllib.request.urlopen(req, timeout=20).read())
+
+    def test_health_and_landing(self):
+        with PlatformServer() as srv:
+            health = json.loads(urllib.request.urlopen(srv.url + "/health", timeout=10).read())
+            assert health == {"status": "ok"}
+            landing = urllib.request.urlopen(srv.url + "/", timeout=10).read()
+            assert b"Zenesis" in landing
+
+    def test_api_roundtrip(self):
+        with PlatformServer() as srv:
+            r = self._post(srv.url, {"action": "create_session"})
+            assert r["ok"] and r["session_id"]
+
+    def test_bad_json_400(self):
+        with PlatformServer() as srv:
+            req = urllib.request.Request(srv.url + "/api", data=b"{not json", headers={})
+            try:
+                urllib.request.urlopen(req, timeout=10)
+                raised = False
+            except urllib.error.HTTPError as exc:
+                raised = exc.code == 400
+            assert raised
+
+    def test_unknown_path_404(self):
+        with PlatformServer() as srv:
+            try:
+                urllib.request.urlopen(srv.url + "/nope", timeout=10)
+                code = 200
+            except urllib.error.HTTPError as exc:
+                code = exc.code
+            assert code == 404

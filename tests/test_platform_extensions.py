@@ -1,0 +1,90 @@
+"""Tests for the extension actions of the platform API."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import rle_encode
+from repro.platform.api import ApiHandler
+
+
+@pytest.fixture()
+def api_with_volume(amorphous_sample):
+    api = ApiHandler()
+    sid = api.handle({"action": "create_session"})["session_id"]
+    api.store.get(sid).load_array(amorphous_sample.volume.voxels, modality="fibsem")
+    return api, sid, amorphous_sample
+
+
+class TestSegmentMultiAction:
+    def test_classes_and_coverage(self, api_with_volume):
+        api, sid, _ = api_with_volume
+        r = api.handle(
+            {
+                "action": "segment_multi",
+                "session_id": sid,
+                "prompts": ["catalyst particles", "dark background"],
+            }
+        )
+        assert r["ok"], r
+        assert r["classes"] == ["catalyst particles", "dark background"]
+        total = sum(r["coverage"].values()) + r["unassigned"]
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_prompts_error(self, api_with_volume):
+        api, sid, _ = api_with_volume
+        r = api.handle({"action": "segment_multi", "session_id": sid, "prompts": []})
+        assert not r["ok"] and r["type"] == "PromptError"
+
+
+class TestPropagateAction:
+    def test_propagates(self, api_with_volume):
+        api, sid, sample = api_with_volume
+        r = api.handle(
+            {
+                "action": "propagate_volume",
+                "session_id": sid,
+                "prompt": "catalyst particles",
+                "reference_slice": 1,
+            }
+        )
+        assert r["ok"], r
+        assert r["n_slices"] == sample.n_slices
+        assert 0.0 < r["volume_fraction"] < 0.6
+
+    def test_requires_volume(self, amorphous_sample):
+        api = ApiHandler()
+        sid = api.handle({"action": "create_session"})["session_id"]
+        api.store.get(sid).load_array(amorphous_sample.volume.voxels[0])
+        r = api.handle({"action": "propagate_volume", "session_id": sid, "prompt": "catalyst"})
+        assert not r["ok"]
+
+
+class TestCalibrateAction:
+    def test_calibrate_and_use(self, api_with_volume):
+        api, sid, sample = api_with_volume
+        annotations = [
+            {"slice": z, "mask_rle": rle_encode(sample.catalyst_mask[z])} for z in (0, 1)
+        ]
+        r = api.handle(
+            {
+                "action": "calibrate_concept",
+                "session_id": sid,
+                "word": "myphase",
+                "annotations": annotations,
+            }
+        )
+        assert r["ok"], r
+        assert r["separation"] > 0.5
+        assert set(r["channel_weights"]) >= {"relative_brightness", "intensity"}
+        # The calibrated word is now promptable in the same session.
+        r2 = api.handle({"action": "segment", "session_id": sid, "prompt": "myphase"})
+        assert r2["ok"] and r2["result"]["coverage"] > 0.01
+
+    def test_requires_volume(self, amorphous_sample):
+        api = ApiHandler()
+        sid = api.handle({"action": "create_session"})["session_id"]
+        api.store.get(sid).load_array(amorphous_sample.volume.voxels[0])
+        r = api.handle(
+            {"action": "calibrate_concept", "session_id": sid, "word": "x", "annotations": []}
+        )
+        assert not r["ok"]

@@ -1,0 +1,139 @@
+"""Tests for the analytic mask head — SAM's functional backend."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthesis.phantoms import disk_phantom, two_phase_phantom
+from repro.errors import PromptError
+from repro.models.sam.analytic import AnalyticMaskHead, _otsu_threshold_float
+from repro.core.masks import masks_iou
+
+
+@pytest.fixture(scope="module")
+def head():
+    return AnalyticMaskHead()
+
+
+class TestContext:
+    def test_prepare_fields(self, head, rng):
+        img = rng.random((32, 32)).astype(np.float32)
+        ctx = head.prepare(img)
+        assert ctx.smooth.shape == img.shape
+        assert ctx.tophat.shape == img.shape
+        assert ctx.noise_sigma > 0
+        assert 0.0 <= ctx.otsu_threshold <= 1.0
+
+    def test_requires_2d(self, head):
+        with pytest.raises(PromptError):
+            head.prepare(np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_otsu_float_bimodal(self):
+        vals = np.concatenate([np.full(500, 0.2), np.full(500, 0.8)])
+        t = _otsu_threshold_float(vals)
+        assert 0.25 < t < 0.75
+
+
+class TestBoxPrompts:
+    def test_disk_in_box_best_hypothesis(self, head, rng):
+        img, gt = disk_phantom((96, 96), center=(48, 48), radius=14, fg=0.8, bg=0.35, noise=0.02, rng=rng)
+        ctx = head.prepare(img)
+        hyps = head.masks_from_box(ctx, np.array([30, 30, 66, 66]))
+        kinds = {h.kind for h in hyps}
+        assert {"bright", "dark", "region", "local-bright", "bright-split"} <= kinds
+        best_iou = max(masks_iou(h.mask, gt) for h in hyps)
+        assert best_iou > 0.8
+
+    def test_dark_object(self, head, rng):
+        img, gt = disk_phantom((96, 96), radius=12, fg=0.15, bg=0.7, noise=0.02, rng=rng)
+        ctx = head.prepare(img)
+        hyps = head.masks_from_box(ctx, np.array([30, 30, 66, 66]))
+        dark = next(h for h in hyps if h.kind == "dark")
+        assert masks_iou(dark.mask, gt) > 0.7
+
+    def test_masks_confined_near_box(self, head, rng):
+        img, _ = disk_phantom((96, 96), radius=10, fg=0.8, bg=0.35, noise=0.02, rng=rng)
+        # Add a second disk far away; box covers only the first.
+        img2 = img.copy()
+        img2[5:15, 70:80] = 0.8
+        ctx = head.prepare(img2)
+        hyps = head.masks_from_box(ctx, np.array([30, 30, 66, 66]))
+        for h in hyps:
+            assert not h.mask[5:15, 70:80].any()
+
+    def test_scores_in_unit_interval(self, head, rng):
+        img, _ = disk_phantom((64, 64), noise=0.02, rng=rng)
+        ctx = head.prepare(img)
+        for h in head.masks_from_box(ctx, np.array([10, 10, 50, 50])):
+            assert 0.0 <= h.score <= 1.0
+            assert set(h.terms) == {"stability", "edge", "contrast", "homogeneity", "area"}
+
+
+class TestPointPrompts:
+    def test_positive_point_segments_disk(self, head, rng):
+        img, gt = disk_phantom((96, 96), center=(48, 48), radius=14, fg=0.8, bg=0.35, noise=0.02, rng=rng)
+        ctx = head.prepare(img)
+        hyps = head.masks_from_points(ctx, np.array([[48, 48]]), np.array([1]))
+        best = max(hyps, key=lambda h: masks_iou(h.mask, gt))
+        assert masks_iou(best.mask, gt) > 0.8
+
+    def test_connectivity_restriction(self, head, rng):
+        # Two disks; a point on one must not segment the other.
+        img = np.full((96, 96), 0.3)
+        yy, xx = np.mgrid[0:96, 0:96]
+        d1 = (yy - 30) ** 2 + (xx - 30) ** 2 <= 100
+        d2 = (yy - 70) ** 2 + (xx - 70) ** 2 <= 100
+        img[d1 | d2] = 0.8
+        img = np.clip(img + rng.normal(scale=0.02, size=img.shape), 0, 1)
+        ctx = head.prepare(img)
+        hyps = head.masks_from_points(ctx, np.array([[30, 30]]), np.array([1]))
+        for h in hyps:
+            if h.kind.endswith("band"):
+                assert not h.mask[70, 70]
+
+    def test_negative_point_vetoes(self, head, rng):
+        img, gt = disk_phantom((96, 96), center=(48, 48), radius=14, fg=0.8, bg=0.35, noise=0.02, rng=rng)
+        ctx = head.prepare(img)
+        hyps = head.masks_from_points(
+            ctx, np.array([[48, 48], [48, 48]]), np.array([1, 0])
+        )
+        # The negative point sits in every component the positive one seeds,
+        # so band hypotheses must come back empty.
+        for h in hyps:
+            if h.kind.endswith("band"):
+                assert not h.mask.any()
+
+    def test_requires_positive_point(self, head, rng):
+        img, _ = disk_phantom((64, 64), rng=rng)
+        ctx = head.prepare(img)
+        with pytest.raises(PromptError):
+            head.masks_from_points(ctx, np.array([[10, 10]]), np.array([0]))
+
+    def test_region_hypothesis_two_phase(self, head, rng):
+        img, bottom = two_phase_phantom((64, 64), top=0.1, bottom=0.7, noise=0.02, rng=rng)
+        ctx = head.prepare(img)
+        hyps = head.masks_from_points(ctx, np.array([[32, 50]]), np.array([1]))  # (x, y) in bottom
+        region = next(h for h in hyps if h.kind == "region")
+        assert masks_iou(region.mask, bottom) > 0.9
+
+
+class TestScoring:
+    def test_empty_mask_scores_zero(self, head, rng):
+        img, _ = disk_phantom((64, 64), rng=rng)
+        ctx = head.prepare(img)
+        score, terms = head.score_mask(ctx, np.zeros((64, 64), dtype=bool))
+        assert score == 0.0
+
+    def test_sharp_region_beats_noise_region(self, head, rng):
+        img, gt = disk_phantom((96, 96), radius=16, fg=0.8, bg=0.3, noise=0.02, rng=rng)
+        ctx = head.prepare(img)
+        good, _ = head.score_mask(ctx, gt)
+        speckle = rng.random((96, 96)) < 0.2
+        bad, _ = head.score_mask(ctx, speckle)
+        assert good > bad
+
+    def test_weights_override(self, rng):
+        img, gt = disk_phantom((64, 64), radius=10, noise=0.02, rng=rng)
+        only_area = AnalyticMaskHead(score_weights={"area": 1.0})
+        ctx = only_area.prepare(img)
+        score, terms = only_area.score_mask(ctx, gt)
+        assert score == pytest.approx(terms["area"])

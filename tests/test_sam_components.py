@@ -1,0 +1,134 @@
+"""Tests for SAM architecture components: encoder, prompt encoder, decoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelConfigError, PromptError
+from repro.models.nn.init import ParamFactory
+from repro.models.sam.image_encoder import ImageEncoderViT
+from repro.models.sam.mask_decoder import MaskDecoder
+from repro.models.sam.model import Sam, SamConfig
+from repro.models.sam.prompt_encoder import PromptEncoder
+
+
+@pytest.fixture()
+def params():
+    return ParamFactory(seed=21)
+
+
+class TestImageEncoder:
+    def test_grid_shape(self, params, rng):
+        enc = ImageEncoderViT(params, patch_size=16, embed_dim=32, depth=1, n_heads=2, out_chans=8)
+        out = enc(rng.random((64, 96)).astype(np.float32))
+        assert out.shape == (4, 6, 8)
+
+    def test_pads_awkward_sizes(self, params, rng):
+        enc = ImageEncoderViT(params, patch_size=16, embed_dim=32, depth=1, n_heads=2, out_chans=8)
+        out = enc(rng.random((50, 70)).astype(np.float32))
+        assert out.shape == (4, 5, 8)  # ceil(50/16), ceil(70/16)
+
+    def test_channel_adaptation(self, params, rng):
+        enc = ImageEncoderViT(params, patch_size=16, embed_dim=32, depth=1, n_heads=2, out_chans=8, in_chans=1)
+        rgb = rng.random((32, 32, 3)).astype(np.float32)
+        assert enc(rgb).shape == (2, 2, 8)
+
+    def test_config_validation(self, params):
+        with pytest.raises(ModelConfigError):
+            ImageEncoderViT(params, embed_dim=30, n_heads=4)
+
+    def test_content_sensitivity(self, params, rng):
+        enc = ImageEncoderViT(params, patch_size=16, embed_dim=32, depth=1, n_heads=2, out_chans=8)
+        a = enc(np.zeros((32, 32), dtype=np.float32))
+        b = enc(rng.random((32, 32)).astype(np.float32))
+        assert not np.allclose(a, b)
+
+
+class TestPromptEncoder:
+    def test_points(self, params):
+        pe = PromptEncoder(params, embed_dim=32)
+        sparse, dense = pe.encode((64, 64), points=np.array([[10, 20], [30, 40]]), labels=np.array([1, 0]))
+        assert sparse.shape == (2, 32)
+        assert dense is None
+
+    def test_box_two_corner_tokens(self, params):
+        pe = PromptEncoder(params, embed_dim=32)
+        sparse, _ = pe.encode((64, 64), box=np.array([4, 4, 40, 40]))
+        assert sparse.shape == (2, 32)
+
+    def test_points_plus_box(self, params):
+        pe = PromptEncoder(params, embed_dim=32)
+        sparse, _ = pe.encode(
+            (64, 64), points=np.array([[5, 5]]), labels=np.array([1]), box=np.array([1, 1, 20, 20])
+        )
+        assert sparse.shape == (3, 32)
+
+    def test_label_type_embedding_differs(self, params):
+        pe = PromptEncoder(params, embed_dim=32)
+        pos, _ = pe.encode((64, 64), points=np.array([[10, 10]]), labels=np.array([1]))
+        neg, _ = pe.encode((64, 64), points=np.array([[10, 10]]), labels=np.array([0]))
+        assert not np.allclose(pos, neg)
+
+    def test_mask_input_dense_bias(self, params):
+        pe = PromptEncoder(params, embed_dim=32)
+        mask = np.zeros((64, 64), dtype=np.float32)
+        mask[20:40, 20:40] = 1.0
+        sparse, dense = pe.encode(
+            (64, 64), points=np.array([[30, 30]]), labels=np.array([1]), mask_input=mask, grid=(4, 4)
+        )
+        assert dense.shape == (4, 4, 32)
+
+    def test_needs_some_prompt(self, params):
+        pe = PromptEncoder(params, embed_dim=32)
+        with pytest.raises(PromptError):
+            pe.encode((64, 64))
+
+    def test_labels_required_and_validated(self, params):
+        pe = PromptEncoder(params, embed_dim=32)
+        with pytest.raises(PromptError):
+            pe.encode((64, 64), points=np.array([[1, 1]]))
+        with pytest.raises(PromptError):
+            pe.encode((64, 64), points=np.array([[1, 1]]), labels=np.array([2]))
+
+
+class TestMaskDecoder:
+    def test_output_shapes(self, params, rng):
+        dec = MaskDecoder(params, embed_dim=32, n_heads=2, depth=2, num_multimask=3)
+        emb = rng.normal(size=(4, 4, 32)).astype(np.float32)
+        pe = rng.normal(size=(4, 4, 32)).astype(np.float32)
+        sparse = rng.normal(size=(3, 32)).astype(np.float32)
+        out = dec(emb, pe, sparse, output_shape=(64, 64))
+        assert out.mask_logits.shape == (4, 64, 64)  # 3 multimask + 1
+        assert out.iou_logits.shape == (4,)
+        assert out.tokens.shape == (1 + 4 + 3, 32)
+
+    def test_grid_resolution_default(self, params, rng):
+        dec = MaskDecoder(params, embed_dim=32, n_heads=2)
+        emb = rng.normal(size=(4, 6, 32)).astype(np.float32)
+        pe = rng.normal(size=(4, 6, 32)).astype(np.float32)
+        out = dec(emb, pe, rng.normal(size=(2, 32)).astype(np.float32))
+        assert out.mask_logits.shape == (4, 4, 6)
+
+    def test_dense_bias_changes_output(self, params, rng):
+        dec = MaskDecoder(params, embed_dim=32, n_heads=2)
+        emb = rng.normal(size=(4, 4, 32)).astype(np.float32)
+        pe = rng.normal(size=(4, 4, 32)).astype(np.float32)
+        sparse = rng.normal(size=(2, 32)).astype(np.float32)
+        a = dec(emb, pe, sparse)
+        b = dec(emb, pe, sparse, dense_bias=rng.normal(size=(4, 4, 32)).astype(np.float32))
+        assert not np.allclose(a.mask_logits, b.mask_logits)
+
+
+class TestSamConfig:
+    def test_registry_scale_configs_valid(self):
+        # ViT-H paper dims must construct (not run) without error.
+        cfg = SamConfig(name="vit_h", encoder_dim=1280, encoder_depth=32, encoder_heads=16, prompt_dim=256)
+        assert cfg.encoder_dim == 1280
+
+    def test_prompt_dim_validated(self):
+        with pytest.raises(ModelConfigError):
+            SamConfig(prompt_dim=30)
+
+    def test_sam_builds(self):
+        sam = Sam(SamConfig())
+        assert sam.image_encoder is not None
+        assert sam.mask_decoder.num_mask_tokens == 4

@@ -1,0 +1,102 @@
+"""Tests for the ViT's windowed-attention path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.models.nn.init import ParamFactory
+from repro.models.sam.image_encoder import (
+    ImageEncoderViT,
+    _window_partition,
+    _window_unpartition,
+)
+
+
+class TestWindowPartition:
+    def test_roundtrip_exact_fit(self, rng):
+        gh, gw, c, win = 8, 8, 6, 4
+        x = rng.random((gh * gw, c)).astype(np.float32)
+        windows, padded = _window_partition(x, gh, gw, win)
+        assert windows.shape == (4, 16, 6)
+        back = _window_unpartition(windows, padded, gh, gw, win)
+        assert np.array_equal(back, x)
+
+    def test_roundtrip_with_padding(self, rng):
+        gh, gw, c, win = 7, 9, 4, 4
+        x = rng.random((gh * gw, c)).astype(np.float32)
+        windows, padded = _window_partition(x, gh, gw, win)
+        assert padded == (8, 12)
+        back = _window_unpartition(windows, padded, gh, gw, win)
+        assert np.array_equal(back, x)
+
+    def test_window_locality(self, rng):
+        # Tokens from different windows never share a window row.
+        gh = gw = 8
+        win = 4
+        x = np.zeros((gh * gw, 1), dtype=np.float32)
+        x[0] = 1.0  # top-left token
+        windows, _ = _window_partition(x, gh, gw, win)
+        assert windows[0].sum() == 1.0
+        assert windows[1:].sum() == 0.0
+
+
+class TestWindowedEncoder:
+    def _build(self, window, depth=2, global_idx=None):
+        return ImageEncoderViT(
+            ParamFactory(3),
+            patch_size=8,
+            embed_dim=16,
+            depth=depth,
+            n_heads=2,
+            out_chans=8,
+            window_size=window,
+            global_attn_indexes=global_idx,
+        )
+
+    def test_output_shape_matches_global(self, rng):
+        img = rng.random((64, 64)).astype(np.float32)
+        global_enc = self._build(0)
+        windowed = self._build(4, global_idx=(1,))
+        assert global_enc(img).shape == windowed(img).shape == (8, 8, 8)
+
+    def test_windowed_differs_from_global(self, rng):
+        img = rng.random((64, 64)).astype(np.float32)
+        a = self._build(0)(img)
+        b = self._build(4, global_idx=())(img)
+        assert not np.allclose(a, b)
+
+    def test_small_grid_falls_back_to_global(self, rng):
+        # Grid 2x2 with window 4: windowing is skipped, not crashed.
+        img = rng.random((16, 16)).astype(np.float32)
+        enc = self._build(4, global_idx=())
+        assert enc(img).shape == (2, 2, 8)
+
+    def test_default_global_indexes_include_last_block(self):
+        enc = self._build(4, depth=8)
+        assert (8 - 1) in enc.global_attn_indexes
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ModelConfigError):
+            self._build(-1)
+
+    def test_windowed_locality_without_global_blocks(self, rng):
+        # With no global blocks, a far-away perturbation cannot affect a
+        # token in another window.
+        img = rng.random((64, 64)).astype(np.float32)
+        enc = self._build(2, global_idx=())
+        base = enc(img)
+        img2 = img.copy()
+        img2[56:, 56:] += 0.5  # bottom-right patch region
+        out = enc(np.clip(img2, 0, 1))
+        assert np.allclose(base[0, 0], out[0, 0], atol=1e-5)
+        assert not np.allclose(base[7, 7], out[7, 7], atol=1e-5)
+
+    def test_global_block_mixes_windows(self, rng):
+        img = rng.random((64, 64)).astype(np.float32)
+        enc = self._build(2, depth=2, global_idx=(1,))
+        base = enc(img)
+        img2 = img.copy()
+        img2[56:, 56:] += 0.5
+        out = enc(np.clip(img2, 0, 1))
+        # The global block propagates the perturbation everywhere.
+        assert not np.allclose(base[0, 0], out[0, 0], atol=1e-6)

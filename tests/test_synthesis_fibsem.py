@@ -1,0 +1,100 @@
+"""Tests for the FIB-SEM scene synthesizer — the dataset substitute."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthesis.fibsem import (
+    CATALYST_KINDS,
+    FibsemConfig,
+    synthesize_fibsem_volume,
+)
+from repro.errors import ValidationError
+
+
+class TestConfig:
+    def test_bad_catalyst(self):
+        with pytest.raises(ValidationError, match="catalyst"):
+            FibsemConfig(catalyst="metallic")
+
+    def test_bad_bit_depth(self):
+        with pytest.raises(ValidationError, match="bit_depth"):
+            FibsemConfig(bit_depth=12)
+
+    def test_too_small(self):
+        with pytest.raises(ValidationError, match="32x32"):
+            FibsemConfig(shape=(16, 16))
+
+    def test_kinds(self):
+        assert set(CATALYST_KINDS) == {"crystalline", "amorphous"}
+
+
+class TestSynthesis:
+    def test_shapes_consistent(self, crystalline_sample):
+        s = crystalline_sample
+        assert s.volume.shape == s.catalyst_mask.shape == s.film_mask.shape == s.clean.shape
+
+    def test_deterministic(self):
+        a = synthesize_fibsem_volume(shape=(64, 64), n_slices=2, seed=5)
+        b = synthesize_fibsem_volume(shape=(64, 64), n_slices=2, seed=5)
+        assert np.array_equal(a.volume.voxels, b.volume.voxels)
+        assert np.array_equal(a.catalyst_mask, b.catalyst_mask)
+
+    def test_seed_changes_scene(self):
+        a = synthesize_fibsem_volume(shape=(64, 64), n_slices=2, seed=5)
+        b = synthesize_fibsem_volume(shape=(64, 64), n_slices=2, seed=6)
+        assert not np.array_equal(a.volume.voxels, b.volume.voxels)
+
+    def test_catalyst_inside_film(self, crystalline_sample):
+        s = crystalline_sample
+        assert not (s.catalyst_mask & ~s.film_mask).any()
+
+    def test_phase_intensities_ordered(self, crystalline_sample):
+        # background < film < catalyst in the clean image.
+        s = crystalline_sample
+        clean = s.clean[0]
+        cat = s.catalyst_mask[0]
+        film_only = s.film_mask[0] & ~cat
+        bg = ~s.film_mask[0]
+        assert clean[bg].mean() < clean[film_only].mean() < clean[cat].mean()
+
+    def test_bit_depths(self):
+        for depth, dtype in ((8, np.uint8), (16, np.uint16), (32, np.uint32)):
+            s = synthesize_fibsem_volume(shape=(48, 48), n_slices=1, bit_depth=depth, seed=1)
+            assert s.volume.voxels.dtype == dtype
+
+    def test_intensity_range_is_partial(self):
+        # Real detectors use a sliver of the range; so do we.
+        s = synthesize_fibsem_volume(shape=(64, 64), n_slices=1, seed=2)
+        assert s.volume.voxels.max() < 0.6 * 65535
+
+    def test_temporal_coherence(self, crystalline_sample):
+        # Adjacent slices share most of their catalyst (3-D particles).
+        m = crystalline_sample.catalyst_mask
+        inter = (m[0] & m[1]).sum()
+        union = (m[0] | m[1]).sum()
+        assert inter / union > 0.3
+
+    def test_volume_metadata(self, amorphous_sample):
+        meta = amorphous_sample.volume.metadata
+        assert meta["catalyst"] == "amorphous"
+        assert meta["synthetic"] is True
+        assert amorphous_sample.volume.modality == "fibsem"
+
+    def test_background_fraction_controls_interface(self):
+        low = synthesize_fibsem_volume(shape=(64, 64), n_slices=1, background_fraction=0.3, seed=3)
+        high = synthesize_fibsem_volume(shape=(64, 64), n_slices=1, background_fraction=0.7, seed=3)
+        assert low.film_mask.mean() > high.film_mask.mean()
+
+    def test_amorphous_has_higher_contrast_than_crystalline(self):
+        c = synthesize_fibsem_volume(shape=(96, 96), n_slices=2, catalyst="crystalline", seed=4)
+        a = synthesize_fibsem_volume(shape=(96, 96), n_slices=2, catalyst="amorphous", seed=4)
+
+        def catalyst_contrast(s):
+            clean = s.clean[0]
+            cat = s.catalyst_mask[0]
+            film_only = s.film_mask[0] & ~cat
+            if not cat.any():
+                return 0.0
+            return clean[cat].mean() - clean[film_only].mean()
+
+        assert catalyst_contrast(a) > catalyst_contrast(c)

@@ -1,0 +1,113 @@
+"""Tests for the shape rasterisers."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthesis.shapes import (
+    raster_band_below,
+    raster_blob,
+    raster_needle,
+    smooth_noise_1d,
+    smooth_noise_2d,
+)
+
+
+class TestSmoothNoise:
+    def test_1d_shape_and_stats(self):
+        out = smooth_noise_1d(256, rng=1, amplitude=2.0)
+        assert out.shape == (256,)
+        assert abs(out.mean()) < 0.5
+        assert np.sqrt((out**2).mean()) == pytest.approx(2.0, rel=1e-6)
+
+    def test_1d_deterministic(self):
+        assert np.array_equal(smooth_noise_1d(64, rng=3), smooth_noise_1d(64, rng=3))
+
+    def test_1d_smoothness(self):
+        out = smooth_noise_1d(512, rng=2, n_modes=4, amplitude=1.0)
+        # Low-order Fourier series: adjacent samples nearly equal.
+        assert np.abs(np.diff(out)).max() < 0.2
+
+    def test_2d_rms(self):
+        out = smooth_noise_2d((64, 64), rng=5, amplitude=0.5)
+        assert out.shape == (64, 64)
+        assert np.sqrt((out**2).mean()) == pytest.approx(0.5, rel=1e-6)
+
+
+class TestNeedle:
+    def test_contains_center(self):
+        m = raster_needle((64, 64), (32, 32), length=20, width=4, angle_rad=0.3)
+        assert m[32, 32]
+
+    def test_area_scales_with_size(self):
+        small = raster_needle((64, 64), (32, 32), 10, 3, 0.0).sum()
+        big = raster_needle((64, 64), (32, 32), 30, 3, 0.0).sum()
+        assert big > 2 * small
+
+    def test_orientation(self):
+        horiz = raster_needle((64, 64), (32, 32), 30, 3, 0.0)
+        vert = raster_needle((64, 64), (32, 32), 30, 3, np.pi / 2)
+        ys_h, xs_h = np.nonzero(horiz)
+        ys_v, xs_v = np.nonzero(vert)
+        assert np.ptp(xs_h) > np.ptp(ys_h)  # horizontal: spread along x
+        assert np.ptp(ys_v) > np.ptp(xs_v)
+
+    def test_off_grid_clipped_silently(self):
+        m = raster_needle((32, 32), (-100, -100), 10, 3, 0.0)
+        assert not m.any()
+
+    def test_taper_narrows_tips(self):
+        full = raster_needle((64, 64), (32, 32), 40, 8, 0.0, taper=0.0).sum()
+        tapered = raster_needle((64, 64), (32, 32), 40, 8, 0.0, taper=0.8).sum()
+        assert tapered < full
+
+    def test_accumulates_into_out(self):
+        out = np.zeros((32, 32), dtype=bool)
+        raster_needle((32, 32), (10, 10), 8, 3, 0.0, out=out)
+        first = out.sum()
+        raster_needle((32, 32), (24, 24), 8, 3, 0.0, out=out)
+        assert out.sum() > first
+
+    def test_invalid_size(self):
+        with pytest.raises(Exception):
+            raster_needle((32, 32), (16, 16), -5, 3, 0.0)
+
+
+class TestBlob:
+    def test_contains_center_and_area(self):
+        m = raster_blob((64, 64), (32, 32), radius=10, rng=1, irregularity=0.2)
+        assert m[32, 32]
+        area = m.sum()
+        assert 0.4 * np.pi * 100 < area < 2.0 * np.pi * 100
+
+    def test_irregularity_changes_boundary(self):
+        smooth = raster_blob((64, 64), (32, 32), 12, rng=1, irregularity=0.0)
+        rough = raster_blob((64, 64), (32, 32), 12, rng=1, irregularity=0.5)
+        assert (smooth ^ rough).any()
+
+    def test_zero_irregularity_is_disk(self):
+        m = raster_blob((64, 64), (32, 32), 10, rng=1, irregularity=0.0)
+        yy, xx = np.mgrid[0:64, 0:64]
+        disk = (yy - 32) ** 2 + (xx - 32) ** 2 <= 100
+        # Allow a 1-px annulus of disagreement (index quantisation).
+        assert (m ^ disk).sum() < 80
+
+    def test_deterministic_in_rng(self):
+        a = raster_blob((64, 64), (30, 30), 9, rng=7)
+        b = raster_blob((64, 64), (30, 30), 9, rng=7)
+        assert np.array_equal(a, b)
+
+
+class TestBand:
+    def test_flat_boundary(self):
+        m = raster_band_below((10, 6), np.full(6, 4.0))
+        assert not m[:4].any()
+        assert m[4:].all()
+
+    def test_wrong_boundary_length(self):
+        with pytest.raises(ValueError):
+            raster_band_below((10, 6), np.zeros(5))
+
+    def test_sloped_boundary(self):
+        m = raster_band_below((10, 10), np.arange(10, dtype=float))
+        assert m[0, 0] and not m[0, 9]
+        assert m[9].all()

@@ -1,0 +1,84 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import StageProfiler, Timer
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_restartable(self):
+        t = Timer()
+        t.start()
+        first = t.stop()
+        t.start()
+        second = t.stop()
+        assert first >= 0 and second >= 0
+
+
+class TestStageProfiler:
+    def test_records_calls(self):
+        prof = StageProfiler()
+        for _ in range(3):
+            with prof.stage("work"):
+                pass
+        rec = prof.records["work"]
+        assert rec.calls == 3
+        assert rec.total_s >= 0
+        assert rec.min_s <= rec.mean_s <= rec.max_s + 1e-12
+
+    def test_records_even_on_exception(self):
+        prof = StageProfiler()
+        with pytest.raises(ValueError):
+            with prof.stage("boom"):
+                raise ValueError("x")
+        assert prof.records["boom"].calls == 1
+
+    def test_merge(self):
+        a, b = StageProfiler(), StageProfiler()
+        with a.stage("s"):
+            pass
+        with b.stage("s"):
+            pass
+        with b.stage("t"):
+            pass
+        a.merge(b)
+        assert a.records["s"].calls == 2
+        assert a.records["t"].calls == 1
+
+    def test_as_rows_sorted_by_total(self):
+        prof = StageProfiler()
+        with prof.stage("fast"):
+            pass
+        with prof.stage("slow"):
+            time.sleep(0.01)
+        rows = prof.as_rows()
+        assert rows[0]["stage"] == "slow"
+
+    def test_format_table(self):
+        prof = StageProfiler()
+        assert "no stages" in prof.format_table()
+        with prof.stage("x"):
+            pass
+        table = prof.format_table()
+        assert "x" in table and "calls" in table
+
+    def test_total(self):
+        prof = StageProfiler()
+        with prof.stage("a"):
+            pass
+        with prof.stage("b"):
+            pass
+        assert prof.total() == pytest.approx(
+            prof.records["a"].total_s + prof.records["b"].total_s
+        )

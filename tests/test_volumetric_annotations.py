@@ -1,0 +1,150 @@
+"""Tests for volumetric metrics and COCO-style annotation export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError, FormatError
+from repro.io.annotations import export_annotations, import_annotations
+from repro.metrics.volumetric import (
+    ParticleStats,
+    particle_statistics,
+    slice_profile_correlation,
+    volumetric_dice,
+    volumetric_iou,
+)
+
+
+class TestVolumetricOverlap:
+    def test_identical(self, rng):
+        m = rng.random((4, 8, 8)) > 0.5
+        assert volumetric_iou(m, m) == 1.0
+        assert volumetric_dice(m, m) == 1.0
+
+    def test_half_overlap_known(self):
+        a = np.zeros((2, 4, 4), dtype=bool)
+        b = np.zeros((2, 4, 4), dtype=bool)
+        a[0] = True
+        b[:] = True
+        assert volumetric_iou(a, b) == pytest.approx(0.5)
+        assert volumetric_dice(a, b) == pytest.approx(2 / 3)
+
+    def test_empty_pair(self):
+        z = np.zeros((2, 3, 3), dtype=bool)
+        assert volumetric_iou(z, z) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            volumetric_iou(np.zeros((2, 3, 3), dtype=bool), np.zeros((2, 4, 4), dtype=bool))
+
+    def test_matches_generator_ground_truth(self, crystalline_sample, pipeline):
+        result = pipeline.segment_volume(crystalline_sample.volume, "catalyst particles")
+        vi = volumetric_iou(result.masks, crystalline_sample.catalyst_mask)
+        assert vi > 0.3
+
+
+class TestParticleStats:
+    def test_counts_separated_particles(self):
+        m = np.zeros((4, 16, 16), dtype=bool)
+        m[0:2, 2:5, 2:5] = True  # particle A spans 2 slices
+        m[1:4, 10:13, 10:13] = True  # particle B spans 3 slices
+        stats = particle_statistics(m)
+        assert stats.n_particles == 2
+        assert stats.mean_extent_z == pytest.approx(2.5)
+        assert stats.largest_volume_voxels == 27
+
+    def test_min_voxels_filters_dust(self):
+        m = np.zeros((2, 8, 8), dtype=bool)
+        m[0, 0, 0] = True
+        stats = particle_statistics(m, min_voxels=8)
+        assert stats.n_particles == 0
+        assert stats.volume_fraction > 0
+
+    def test_empty(self):
+        stats = particle_statistics(np.zeros((2, 4, 4), dtype=bool))
+        assert stats == ParticleStats(0, 0.0, 0.0, 0, 0.0, 0.0)
+
+    def test_surface_to_volume_cube(self):
+        # An isolated 3³ cube: 54 faces / 27 voxels = 2.0
+        m = np.zeros((5, 7, 7), dtype=bool)
+        m[1:4, 2:5, 2:5] = True
+        stats = particle_statistics(m)
+        assert stats.surface_to_volume == pytest.approx(2.0)
+
+    def test_needles_higher_surface_than_blobs(self, crystalline_sample, amorphous_sample):
+        c = particle_statistics(crystalline_sample.catalyst_mask)
+        a = particle_statistics(amorphous_sample.catalyst_mask)
+        assert c.surface_to_volume > a.surface_to_volume
+
+    def test_as_dict_json_safe(self, crystalline_sample):
+        json.dumps(particle_statistics(crystalline_sample.catalyst_mask).as_dict())
+
+
+class TestSliceProfile:
+    def test_perfect_profile(self, amorphous_sample):
+        gt = amorphous_sample.catalyst_mask
+        assert slice_profile_correlation(gt, gt) == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        a = np.zeros((4, 4, 4), dtype=bool)
+        b = np.zeros((4, 4, 4), dtype=bool)
+        for z in range(4):
+            a[z, : z + 1, 0] = True
+            b[z, : 4 - z, 0] = True
+        assert slice_profile_correlation(a, b) < 0
+
+    def test_constant_profiles(self):
+        a = np.ones((3, 4, 4), dtype=bool)
+        assert slice_profile_correlation(a, a) == 1.0
+
+
+class TestAnnotations:
+    def test_roundtrip(self, rng, tmp_path):
+        masks = {
+            "cluster_a": rng.random((24, 30)) > 0.7,
+            "cluster_b": rng.random((24, 30)) > 0.6,
+        }
+        path = tmp_path / "ann.json"
+        doc = export_annotations(path, masks, image_name="slice0.png", metadata={"prompt": "x"})
+        assert doc["images"][0]["height"] == 24
+        back = import_annotations(path)
+        assert set(back) == set(masks)
+        for name in masks:
+            assert np.array_equal(back[name], masks[name])
+
+    def test_list_input_autonamed(self, rng, tmp_path):
+        path = tmp_path / "ann.json"
+        export_annotations(path, [rng.random((8, 8)) > 0.5])
+        back = import_annotations(path)
+        assert "region_0" in back
+
+    def test_bbox_and_area_fields(self, tmp_path):
+        m = np.zeros((10, 10), dtype=bool)
+        m[2:5, 3:8] = True
+        doc = export_annotations(tmp_path / "a.json", {"box": m})
+        ann = doc["annotations"][0]
+        assert ann["bbox"] == [3, 2, 8, 5]
+        assert ann["area"] == 15
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            export_annotations(
+                tmp_path / "a.json",
+                {"a": np.zeros((4, 4), dtype=bool), "b": np.zeros((5, 5), dtype=bool)},
+            )
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            export_annotations(tmp_path / "a.json", {})
+
+    def test_import_garbage_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"not": "annotations"}')
+        with pytest.raises(FormatError):
+            import_annotations(p)
+
+    def test_document_is_valid_json(self, rng, tmp_path):
+        path = tmp_path / "ann.json"
+        export_annotations(path, {"m": rng.random((6, 6)) > 0.5})
+        json.loads(path.read_text())
