@@ -1,0 +1,124 @@
+"""Optional on-disk tier under ``~/.cache/repro``.
+
+Persists cache entries across processes and sessions: Mode B worker
+processes, repeated CLI invocations on the same acquisition, and server
+restarts all reuse each other's encodings.  Entries are pickled blobs in a
+two-level fan-out directory keyed by the content address; writes are atomic
+(tmp file + rename) so concurrent readers never observe torn entries.
+Disabled by default — enable via ``CacheConfig(disk_enabled=True)`` or
+``REPRO_CACHE_DISK=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from .stats import TierStats
+
+__all__ = ["DiskTier", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path(os.environ.get("XDG_CACHE_HOME", "~/.cache")).expanduser() / "repro"
+
+
+class DiskTier:
+    """Content-addressed pickle store with an LRU-by-mtime byte budget."""
+
+    name = "disk"
+
+    def __init__(self, root: Path | None = None, byte_budget: int = 1024 * 1024 * 1024) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.byte_budget = int(byte_budget)
+        self.stats = TierStats(tier=self.name, byte_budget=self.byte_budget)
+        self._scanned = False
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _scan(self) -> None:
+        """Lazily compute occupancy from the directory tree."""
+        if self._scanned:
+            return
+        total = 0
+        count = 0
+        if self.root.is_dir():
+            for p in self.root.glob("*/*.pkl"):
+                try:
+                    total += p.stat().st_size
+                    count += 1
+                except OSError:
+                    continue
+        self.stats.bytes_used = total
+        self.stats.entries = count
+        self._scanned = True
+
+    def get(self, key: str, default=None):
+        self._scan()
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.stats.misses += 1
+            return default
+        try:
+            os.utime(path)  # refresh for LRU-by-mtime eviction
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value, nbytes: int | None = None) -> bool:
+        self._scan()
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            size = tmp.stat().st_size
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            tmp.unlink(missing_ok=True)
+            return False
+        self.stats.puts += 1
+        self.stats.bytes_used += size
+        self.stats.entries += 1
+        self._evict()
+        return True
+
+    def _evict(self) -> None:
+        if self.stats.bytes_used <= self.byte_budget:
+            return
+        entries = []
+        for p in self.root.glob("*/*.pkl"):
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, p))
+        entries.sort()
+        used = sum(size for _, size, _ in entries)
+        for _, size, p in entries:
+            if used <= self.byte_budget:
+                break
+            p.unlink(missing_ok=True)
+            used -= size
+            self.stats.evictions += 1
+        self.stats.bytes_used = used
+        self.stats.entries = sum(1 for e in entries if e[2].exists())
+
+    def clear(self) -> None:
+        if self.root.is_dir():
+            for p in self.root.glob("*/*.pkl"):
+                p.unlink(missing_ok=True)
+        self.stats.bytes_used = 0
+        self.stats.entries = 0
+        self._scanned = True

@@ -1,0 +1,109 @@
+"""Cache observability: per-tier and per-namespace counters.
+
+Every tier (memory, disk) tracks hits/misses/puts/evictions plus its byte
+occupancy; every namespace (``sam.image``, ``dino.ground``, …) tracks its
+own hit/miss split so the profiler tables and the Fig 8 dashboard can show
+*where* reuse happens, not just that it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TierStats", "NamespaceStats", "CacheStats", "subtract_counters"]
+
+
+@dataclass
+class TierStats:
+    """Counters for one storage tier."""
+
+    tier: str
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    bytes_used: int = 0
+    byte_budget: int = 0
+    entries: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "bytes_used": self.bytes_used,
+            "byte_budget": self.byte_budget,
+            "entries": self.entries,
+        }
+
+
+@dataclass
+class NamespaceStats:
+    """Hit/miss split for one logical cache namespace."""
+
+    namespace: str
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.hits + self.misses
+        return self.hits / n if n else 0.0
+
+
+@dataclass
+class CacheStats:
+    """Aggregated view over all tiers and namespaces of one cache."""
+
+    tiers: dict[str, TierStats] = field(default_factory=dict)
+    namespaces: dict[str, NamespaceStats] = field(default_factory=dict)
+
+    def tier(self, name: str) -> TierStats:
+        return self.tiers.setdefault(name, TierStats(tier=name))
+
+    def namespace(self, name: str) -> NamespaceStats:
+        return self.namespaces.setdefault(name, NamespaceStats(namespace=name))
+
+    @property
+    def hits(self) -> int:
+        return sum(t.hits for t in self.tiers.values())
+
+    @property
+    def misses(self) -> int:
+        # A full miss walks every tier; count it once, via the namespaces.
+        return sum(ns.misses for ns in self.namespaces.values())
+
+    def as_rows(self) -> list[dict]:
+        """Per-tier rows for tables/dashboards."""
+        return [self.tiers[k].as_dict() for k in sorted(self.tiers)]
+
+    def as_counters(self) -> dict[str, float]:
+        """Flat ``{"cache.<tier>.<metric>": value}`` mapping for profilers."""
+        out: dict[str, float] = {}
+        for name, t in sorted(self.tiers.items()):
+            out[f"cache.{name}.hits"] = float(t.hits)
+            out[f"cache.{name}.misses"] = float(t.misses)
+            out[f"cache.{name}.evictions"] = float(t.evictions)
+            out[f"cache.{name}.bytes"] = float(t.bytes_used)
+            out[f"cache.{name}.entries"] = float(t.entries)
+        for name, ns in sorted(self.namespaces.items()):
+            out[f"cache.ns.{name}.hits"] = float(ns.hits)
+            out[f"cache.ns.{name}.misses"] = float(ns.misses)
+        return out
+
+
+def subtract_counters(after: dict[str, float], before: dict[str, float]) -> dict[str, float]:
+    """Counter delta between two :meth:`CacheStats.as_counters` snapshots.
+
+    Gauges (``bytes``, ``entries``) keep their *after* value — a delta of a
+    gauge is meaningless; monotonic counters are differenced.
+    """
+    out: dict[str, float] = {}
+    for key, value in after.items():
+        if key.endswith((".bytes", ".entries")):
+            out[key] = value
+        else:
+            out[key] = value - before.get(key, 0.0)
+    return out

@@ -35,6 +35,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", type=Path, default=None, help="output .npz (default: alongside input)")
     p.add_argument("--overlay", type=Path, default=None, help="also write an overlay PNG")
     p.add_argument("--slice", type=int, default=None, help="volume slice to segment (default: all)")
+    p.add_argument("--no-cache", action="store_true", help="disable the content-addressed inference cache")
+    p.add_argument("--profile", action="store_true", help="print per-stage timings and cache counters")
 
     p = sub.add_parser("batch", help="Mode B batch segmentation of a volume")
     p.add_argument("path", type=Path)
@@ -48,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=256, help="slice edge length")
     p.add_argument("--slices", type=int, default=10, help="slices per volume")
     p.add_argument("--dashboard", type=Path, default=None, help="write HTML dashboard here")
+    p.add_argument("--no-cache", action="store_true", help="disable the content-addressed inference cache")
 
     p = sub.add_parser("synthesize", help="generate a synthetic FIB-SEM volume")
     p.add_argument("kind", choices=["crystalline", "amorphous"])
@@ -67,14 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_segment(args) -> int:
-    from .core.pipeline import ZenesisPipeline
+    from .core.pipeline import ZenesisConfig, ZenesisPipeline
     from .io.formats import load_image_file
     from .io.volume_io import save_volume_bundle
     from .platform.render import save_figure
     from .viz.overlay import overlay_mask
 
     arr = load_image_file(args.path)
-    pipeline = ZenesisPipeline()
+    pipeline = ZenesisPipeline(ZenesisConfig(use_cache=not args.no_cache))
     out = args.out or args.path.with_suffix(".masks.npz")
     if arr.ndim == 3 and args.slice is None:
         result = pipeline.segment_volume(arr, args.prompt)
@@ -91,6 +94,9 @@ def _cmd_segment(args) -> int:
             save_figure(args.overlay, overlay_mask(seg_img, result.mask))
             print(f"overlay -> {args.overlay}")
     print(f"masks -> {out}")
+    if args.profile:
+        print()
+        print(pipeline.profiler.format_table())
     return 0
 
 
@@ -122,8 +128,11 @@ def _cmd_evaluate(args) -> int:
     from .eval.experiments import ExperimentSetup, build_methods
     from .eval.report import paper_table
 
+    from .core.pipeline import ZenesisConfig
+
     setup = ExperimentSetup(
-        dataset=make_benchmark_dataset(shape=(args.size, args.size), n_slices=args.slices)
+        dataset=make_benchmark_dataset(shape=(args.size, args.size), n_slices=args.slices),
+        zenesis_config=ZenesisConfig(use_cache=not args.no_cache),
     )
     evaluator = Evaluator(build_methods(setup))
     evaluations = evaluator.evaluate(setup.dataset.slices, method_names=args.methods)
@@ -131,7 +140,9 @@ def _cmd_evaluate(args) -> int:
         print()
         print(paper_table(ev))
     if args.dashboard is not None:
-        args.dashboard.write_text(render_dashboard(evaluations))
+        args.dashboard.write_text(
+            render_dashboard(evaluations, cache_counters=evaluator.last_cache_counters)
+        )
         print(f"\ndashboard -> {args.dashboard}")
     return 0
 

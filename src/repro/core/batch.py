@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..cache import subtract_counters
 from ..data.volume import ScientificVolume
 from ..errors import ParallelError
 from ..parallel.pool import default_worker_count, run_partitioned
@@ -58,6 +59,7 @@ def _process_block(
     out = SharedNDArray.attach(out_spec)
     try:
         timer = Timer().start()
+        cache_before = pipeline.cache.counters()
         z_order = partition.all_slices
         adapted: dict[int, np.ndarray] = {}
         detections = []
@@ -85,6 +87,7 @@ def _process_block(
             "halo": list(partition.halo),
             "n_replaced": n_replaced,
             "wall_s": timer.elapsed,
+            "cache": subtract_counters(pipeline.cache.counters(), cache_before),
         }
     finally:
         vol.close()

@@ -76,7 +76,9 @@ def further_segment(
         raise ValidationError(
             f"sub-region {x1 - x0}x{y1 - y0} too small for further segmentation (min {min_region})"
         )
-    crop = img[y0:y1, x0:x1]
+    # Contiguous copy: the crop is the cache key for every downstream stage,
+    # and hashing a strided view would re-copy it once per stage.
+    crop = np.ascontiguousarray(img[y0:y1, x0:x1])
     result: SliceResult = pipeline.segment_image(crop, prompt)
     full = np.zeros((h, w), dtype=bool)
     full[y0:y1, x0:x1] = result.mask

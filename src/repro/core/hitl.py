@@ -107,11 +107,12 @@ class RectifySession:
         # *smallest* containing segment is what a user means when clicking a
         # structure embedded in a larger region — else (1, centroid distance).
         best: tuple[tuple, np.ndarray, np.ndarray] | None = None  # (key, comp, box)
-        ctx = self.predictor.analytic_context
         max_area = self.config.max_component_frac * self.image.size
         iy, ix = int(round(cy)), int(round(cx))
         for box in boxes:
-            hyps = self.predictor.sam.analytic.masks_from_box(ctx, box)
+            # Cached per (image, box): repeated rectify rounds re-propose
+            # overlapping candidates, and the second visit is free.
+            hyps = self.predictor.masks_from_box(box)
             for hyp in hyps:
                 if hyp.kind == "dark" or not hyp.mask.any():
                     continue

@@ -27,6 +27,7 @@ from scipy.ndimage import binary_dilation
 from ..adapt.bitdepth import robust_normalize
 from ..adapt.contrast import clahe
 from ..adapt.denoise import denoise_bilateral, flatfield_correct, unsharp_mask
+from ..cache import MISS, CacheConfig, InferenceCache, array_content_key, combine_keys, config_fingerprint, get_cache
 from ..data.image import ScientificImage
 from ..data.volume import ScientificVolume
 from ..errors import GroundingError
@@ -68,6 +69,7 @@ class ZenesisConfig:
     temporal: TemporalConfig = field(default_factory=TemporalConfig)
     seed: int = 0
     strict_grounding: bool = False  # raise GroundingError when nothing grounds
+    use_cache: bool = True  # content-addressed inference cache (--no-cache)
 
 
 class ZenesisPipeline:
@@ -76,24 +78,51 @@ class ZenesisPipeline:
     def __init__(self, config: ZenesisConfig | None = None) -> None:
         self.config = config or ZenesisConfig()
         cfg = self.config
+        # One cache serves both models and the adaptation layer; disabling
+        # swaps in an inert instance rather than threading flags everywhere.
+        self.cache: InferenceCache = (
+            get_cache() if cfg.use_cache else InferenceCache(CacheConfig(enabled=False))
+        )
         self.dino: GroundingDino = build_dino(
             cfg.dino_name,
             seed=cfg.seed,
+            cache=self.cache,
             box_threshold=cfg.box_threshold,
             text_threshold=cfg.text_threshold,
         )
         self.sam: Sam = build_sam(cfg.sam_name, seed=cfg.seed, analytic=AnalyticMaskHead(band_k=cfg.band_k))
-        self.predictor = SamPredictor(self.sam)
+        self.predictor = SamPredictor(self.sam, cache=self.cache)
         self.profiler = StageProfiler()
+        # Adaptation outputs depend only on these knobs, not the full config.
+        self._adapt_fp = config_fingerprint(
+            {
+                "denoise_sigma_spatial": cfg.denoise_sigma_spatial,
+                "denoise_sigma_range": cfg.denoise_sigma_range,
+                "flatfield": cfg.flatfield,
+                "flatfield_sigma": cfg.flatfield_sigma,
+                "unsharp_amount": cfg.unsharp_amount,
+                "unsharp_sigma": cfg.unsharp_sigma,
+                "clahe_tiles": cfg.clahe_tiles,
+                "clahe_clip": cfg.clahe_clip,
+            }
+        )
 
     # -- adaptation -----------------------------------------------------------
 
     def adapt(self, image) -> tuple[np.ndarray, np.ndarray]:
-        """Run both adaptation branches; returns (detector_img, segmenter_img)."""
+        """Run both adaptation branches; returns (detector_img, segmenter_img).
+
+        Both branch outputs are cached per (raw content, adaptation knobs):
+        re-segmenting a slice with a new prompt skips adaptation entirely.
+        """
         cfg = self.config
         raw = image.pixels if isinstance(image, ScientificImage) else np.asarray(image)
         if raw.ndim == 3:
             raw = raw.mean(axis=2)
+        key = combine_keys(array_content_key(raw), self._adapt_fp)
+        cached = self.cache.get("pipeline.adapt", key)
+        if cached is not MISS:
+            return cached
         with self.profiler.stage("adapt.normalize"):
             base = robust_normalize(raw)
         with self.profiler.stage("adapt.denoise"):
@@ -107,6 +136,7 @@ class ZenesisPipeline:
             det_img = clahe(den, tiles=cfg.clahe_tiles, clip_limit=cfg.clahe_clip)
         with self.profiler.stage("adapt.segmenter_branch"):
             seg_img = unsharp_mask(den, amount=cfg.unsharp_amount, sigma=cfg.unsharp_sigma)
+        self.cache.put("pipeline.adapt", key, (det_img, seg_img))
         return det_img, seg_img
 
     # -- grounding -------------------------------------------------------------
@@ -129,20 +159,28 @@ class ZenesisPipeline:
         hyps: list[MaskHypothesis],
         relevance: np.ndarray,
         box: np.ndarray,
+        *,
+        hi: np.ndarray | None = None,
+        hi_dilated: np.ndarray | None = None,
     ) -> tuple[MaskHypothesis, float] | None:
         """Pick the hypothesis most consistent with the relevance map.
 
         Score = (mean relevance inside the mask) × √(fraction of the mask in
         the dilated high-relevance region) × √(coverage of the box's
         high-relevance pixels).  Returns None when every hypothesis is empty.
+
+        ``hi``/``hi_dilated`` are box-independent; callers looping over many
+        boxes pass them precomputed so the dilation runs once per image.
         """
         cfg = self.config
-        hi = relevance >= cfg.box_threshold
+        if hi is None:
+            hi = relevance >= cfg.box_threshold
         x0, y0, x1, y1 = (int(box[0]), int(box[1]), int(np.ceil(box[2])), int(np.ceil(box[3])))
         hi_box = np.zeros_like(hi)
         hi_box[max(y0, 0) : y1, max(x0, 0) : x1] = hi[max(y0, 0) : y1, max(x0, 0) : x1]
         n_hi = max(int(hi_box.sum()), 1)
-        hi_dilated = binary_dilation(hi, iterations=2)
+        if hi_dilated is None:
+            hi_dilated = binary_dilation(hi, iterations=2)
         best: tuple[MaskHypothesis, float] | None = None
         for hyp in hyps:
             m = hyp.mask
@@ -169,17 +207,23 @@ class ZenesisPipeline:
         use_boxes = detection.boxes if boxes is None else boxes
         with self.profiler.stage("sam.set_image"):
             self.predictor.set_image(segmenter_img)
-        ctx = self.predictor.analytic_context
         union = np.zeros(segmenter_img.shape, dtype=bool)
         per_box_masks: list[np.ndarray] = []
         per_box_kinds: list[str] = []
         with self.profiler.stage("sam.box_prompts"):
-            for box in use_boxes:
-                hyps = self.sam.analytic.masks_from_box(ctx, box)
+            if len(use_boxes):
                 # Keep the transformer path exercised (tokens/logits exposed
-                # on the predictor) while the analytic head picks the mask.
-                self.predictor.predict(box=box, multimask_output=True)
-                picked = self._select_mask(hyps, detection.relevance, box)
+                # on the predictor) while the analytic head picks the masks —
+                # all K box prompts decoded in ONE batched pass.
+                self.predictor.decode_boxes(np.asarray(use_boxes))
+            # Box-independent selection masks, hoisted out of the loop.
+            hi = detection.relevance >= cfg.box_threshold
+            hi_dilated = binary_dilation(hi, iterations=2)
+            for box in use_boxes:
+                hyps = self.predictor.masks_from_box(box)
+                picked = self._select_mask(
+                    hyps, detection.relevance, box, hi=hi, hi_dilated=hi_dilated
+                )
                 if picked is None or picked[1] <= cfg.selection_floor:
                     continue
                 per_box_masks.append(picked[0].mask)
@@ -220,6 +264,7 @@ class ZenesisPipeline:
                     point_coords=coords, point_labels=labels, multimask_output=False
                 )
             mask = mask | masks[0]
+        self.profiler.set_counters(self.cache.counters())
         return SliceResult(
             mask=mask,
             detection=detection,
@@ -244,13 +289,14 @@ class ZenesisPipeline:
             raise GroundingError(f"segment_volume expects a 3-D volume, got shape {voxels.shape}")
         n = voxels.shape[0]
 
-        adapted = []
+        # Only the segmenter-branch image is needed after grounding; dropping
+        # det_img here halves the peak memory of the adapted-slice store.
+        seg_imgs: list[np.ndarray] = []
         detections: list[Detection] = []
         for z in range(n):
             det_img, seg_img = self.adapt(voxels[z])
-            detection = self.ground(det_img, text)
-            adapted.append((det_img, seg_img))
-            detections.append(detection)
+            detections.append(self.ground(det_img, text))
+            seg_imgs.append(seg_img)
 
         report = RefinementReport(n_slices=n)
         per_slice_boxes = [d.boxes for d in detections]
@@ -263,8 +309,7 @@ class ZenesisPipeline:
         slice_results: list[SliceResult] = []
         masks = np.zeros(voxels.shape, dtype=bool)
         for z in range(n):
-            _, seg_img = adapted[z]
-            mask, per_box, kinds = self.segment_with_boxes(seg_img, detections[z], per_slice_boxes[z])
+            mask, per_box, kinds = self.segment_with_boxes(seg_imgs[z], detections[z], per_slice_boxes[z])
             masks[z] = mask
             slice_results.append(
                 SliceResult(
@@ -277,6 +322,7 @@ class ZenesisPipeline:
                     metadata={"slice": z},
                 )
             )
+        self.profiler.set_counters(self.cache.counters())
         return VolumeResult(
             masks=masks,
             slice_results=tuple(slice_results),

@@ -62,12 +62,40 @@ def _method_section(name: str, ev: MethodEvaluation) -> list[str]:
     return parts
 
 
+def _cache_section(cache_counters: Mapping[str, int]) -> list[str]:
+    """Inference-cache card: hit rate plus every raw counter."""
+    hits = sum(v for k, v in cache_counters.items() if k.endswith(".hits") and k.startswith("cache.ns."))
+    misses = sum(v for k, v in cache_counters.items() if k.endswith(".misses") and k.startswith("cache.ns."))
+    lookups = hits + misses
+    rate = hits / lookups if lookups else 0.0
+    parts = ["<h2>Inference cache</h2>", '<div class="cards">']
+    parts.append(
+        f"<div class='card'><span class='small'>hit rate</span>"
+        f"<div class='value'>{rate:.1%}</div>"
+        f"<span class='small'>{hits} hits / {lookups} lookups</span></div>"
+    )
+    parts.append("</div>")
+    parts.append("<table><tr><th>counter</th><th>value</th></tr>")
+    for key in sorted(cache_counters):
+        parts.append(
+            f"<tr><td class='name'>{html.escape(key)}</td><td>{cache_counters[key]}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
 def render_dashboard(
     evaluations: Mapping[str, MethodEvaluation],
     *,
     title: str = "Zenesis Evaluation Dashboard",
+    cache_counters: Mapping[str, int] | None = None,
 ) -> str:
-    """Render all evaluated methods into one HTML document."""
+    """Render all evaluated methods into one HTML document.
+
+    ``cache_counters`` (e.g. ``Evaluator.last_cache_counters`` or
+    ``InferenceCache.counters()``) adds an inference-cache card showing the
+    hit rate and per-tier occupancy for the run.
+    """
     parts = [
         "<!DOCTYPE html><html><head><meta charset='utf-8'>",
         f"<title>{html.escape(title)}</title><style>{_CSS}</style></head><body>",
@@ -76,5 +104,7 @@ def render_dashboard(
     ]
     for name, ev in evaluations.items():
         parts.extend(_method_section(name, ev))
+    if cache_counters is not None:
+        parts.extend(_cache_section(cache_counters))
     parts.append("</body></html>")
     return "".join(parts)

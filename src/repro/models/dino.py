@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.ndimage import label, zoom
 
+from ..cache import MISS, InferenceCache, array_content_key, combine_keys, config_fingerprint, get_cache
 from ..core.boxes import as_boxes, merge_overlapping
 from ..errors import ModelConfigError
 from ..utils.rng import derive_seed
@@ -94,9 +95,12 @@ class GroundingDino:
         config: DinoConfig | None = None,
         *,
         lexicon: ConceptLexicon | None = None,
+        cache: InferenceCache | None = None,
     ) -> None:
         self.config = config or DinoConfig()
         self.lexicon = lexicon or default_lexicon()
+        self.cache = cache if cache is not None else get_cache()
+        self._config_fp = config_fingerprint(self.config)
         params = ParamFactory(derive_seed(self.config.seed, "groundingdino"))
         self.extractor = PatchFeatureExtractor(stride=self.config.stride)
         # Shared orthonormal alignment: QR of a seeded Gaussian matrix.
@@ -126,8 +130,26 @@ class GroundingDino:
 
     # -- encoding -----------------------------------------------------------
 
+    def _fingerprint(self) -> str:
+        """Config ⊕ lexicon content hash: any calibration invalidates text caches."""
+        return combine_keys(self._config_fp, self.lexicon.fingerprint())
+
     def encode_text(self, prompt: str) -> tuple[TextEncoding, np.ndarray, np.ndarray]:
-        """Ground a prompt; returns (encoding, Q embeddings, token weights)."""
+        """Ground a prompt; returns (encoding, Q embeddings, token weights).
+
+        The text-encoder output is cached per (prompt, config, lexicon
+        content) — workflows reuse a handful of prompts across hundreds of
+        slices, so after the first slice the text side is free.
+        """
+        key = combine_keys(repr(prompt), self._fingerprint())
+        cached = self.cache.get("dino.text", key)
+        if cached is not MISS:
+            return cached
+        result = self._encode_text(prompt)
+        self.cache.put("dino.text", key, result)
+        return result
+
+    def _encode_text(self, prompt: str) -> tuple[TextEncoding, np.ndarray, np.ndarray]:
         enc = self.lexicon.encode(prompt)
         if enc.n_tokens == 0:
             d = self.config.embed_dim
@@ -139,7 +161,18 @@ class GroundingDino:
         return enc, q, weights.astype(np.float32)
 
     def encode_image(self, image: np.ndarray) -> tuple[FeatureGrid, np.ndarray]:
-        """Extract the patch feature grid and its K embeddings."""
+        """Extract the patch feature grid and its K embeddings (cached).
+
+        Keyed by image content ⊕ detector config; the lexicon does not enter
+        the key because the image side is prompt-independent.
+        """
+        img = np.asarray(image)
+        key = combine_keys(array_content_key(img), self._config_fp)
+        return self.cache.get_or_compute(
+            "dino.image", key, lambda: self._encode_image(img)
+        )
+
+    def _encode_image(self, image: np.ndarray) -> tuple[FeatureGrid, np.ndarray]:
         grid = self.extractor(image)
         k = grid.tokens @ self._align  # (N, D)
         return grid, k
@@ -151,9 +184,16 @@ class GroundingDino:
         each later stage 2× coarser and 2× wider).  This is the Swin-T
         architectural stream; grounding scores use the analytic alignment.
         """
-        grid, k = self.encode_image(image)
+        img = np.asarray(image)
+        key = combine_keys(array_content_key(img), self._config_fp)
+        cached = self.cache.get("dino.image_hier", key)
+        if cached is not MISS:
+            return cached
+        grid, k = self.encode_image(img)
         gh, gw, _ = grid.grid.shape
-        return self.backbone(k, (gh, gw))
+        stages = self.backbone(k, (gh, gw))
+        self.cache.put("dino.image_hier", key, stages)
+        return stages
 
     # -- grounding ----------------------------------------------------------
 
@@ -192,7 +232,22 @@ class GroundingDino:
         An empty result (``n_boxes == 0``) means no region passed the
         thresholds — the caller decides whether that is an error
         (:class:`repro.errors.GroundingError`) or an empty slice.
+
+        The full :class:`Detection` is cached per (image content, prompt,
+        config, lexicon content): repeated Mode C sweeps over the same
+        volume skip grounding entirely on the second pass.
         """
+        key = combine_keys(
+            array_content_key(np.asarray(image)), repr(prompt), self._fingerprint()
+        )
+        cached = self.cache.get("dino.ground", key)
+        if cached is not MISS:
+            return cached
+        det = self._ground(image, prompt)
+        self.cache.put("dino.ground", key, det)
+        return det
+
+    def _ground(self, image: np.ndarray, prompt: str) -> Detection:
         cfg = self.config
         relevance, enc, activations = self.relevance_map(image, prompt)
         binary = relevance >= cfg.box_threshold

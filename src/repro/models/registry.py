@@ -48,7 +48,7 @@ def build_sam(name: str = DEFAULT_SAM, *, seed: int = 0, analytic: AnalyticMaskH
     return Sam(cfg, analytic=analytic)
 
 
-def build_dino(name: str = DEFAULT_DINO, *, seed: int = 0, **overrides) -> GroundingDino:
+def build_dino(name: str = DEFAULT_DINO, *, seed: int = 0, cache=None, **overrides) -> GroundingDino:
     """Build a GroundingDINO surrogate by config name."""
     if name not in DINO_CONFIGS:
         raise ModelConfigError(f"unknown DINO config {name!r}; known: {sorted(DINO_CONFIGS)}")
@@ -57,4 +57,4 @@ def build_dino(name: str = DEFAULT_DINO, *, seed: int = 0, **overrides) -> Groun
         from dataclasses import replace
 
         cfg = replace(cfg, seed=seed, **overrides)
-    return GroundingDino(cfg)
+    return GroundingDino(cfg, cache=cache)

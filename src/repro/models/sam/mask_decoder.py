@@ -66,40 +66,86 @@ class MaskDecoder:
         *,
         output_shape: tuple[int, int] | None = None,
     ) -> DecoderOutput:
+        sparse = np.asarray(sparse_tokens, dtype=np.float32)
+        return self.decode_batch(
+            image_embedding, image_pe, sparse[None], dense_bias, output_shape=output_shape
+        )[0]
+
+    def decode_batch(
+        self,
+        image_embedding: np.ndarray,  # (gh, gw, D), shared by all prompts
+        image_pe: np.ndarray,  # (gh, gw, D)
+        sparse_batch: np.ndarray,  # (K, T, D): K independent prompt-token sets
+        dense_bias: np.ndarray | None = None,
+        *,
+        output_shape: tuple[int, int] | None = None,
+    ) -> list[DecoderOutput]:
+        """Decode K prompts against one image in a single batched pass.
+
+        Each prompt gets its own copy of the image-token stream (the two-way
+        blocks update image tokens per prompt), stacked on a leading batch
+        axis so every matmul in the transformer runs once at shape
+        ``(K, …)`` instead of K times.  Per-prompt results are identical to
+        K serial :meth:`__call__` invocations — the batched kernels iterate
+        the same per-slice GEMMs — which is what the batched-vs-serial
+        equivalence tests pin down.
+        """
         gh, gw, d = image_embedding.shape
+        sparse = np.asarray(sparse_batch, dtype=np.float32)
+        k, t, _ = sparse.shape
+        if k == 0:
+            return []
         img = image_embedding
         if dense_bias is not None:
             img = img + dense_bias
-        img_tokens = img.reshape(gh * gw, d)
-        pe_tokens = image_pe.reshape(gh * gw, d)
+        img_tokens = np.ascontiguousarray(
+            np.broadcast_to(img.reshape(gh * gw, d), (k, gh * gw, d))
+        )
+        pe_tokens = image_pe.reshape(gh * gw, d)  # shared; broadcasts over K
 
+        fixed = np.concatenate([self.iou_token[None, :], self.mask_tokens], axis=0)
         queries = np.concatenate(
-            [self.iou_token[None, :], self.mask_tokens, sparse_tokens], axis=0
+            [np.broadcast_to(fixed, (k, *fixed.shape)), sparse], axis=1
         ).astype(np.float32)
         query_pe = np.zeros_like(queries)
-        query_pe[1 + self.num_mask_tokens :] = sparse_tokens  # prompts reuse their codes as PE
+        query_pe[:, 1 + self.num_mask_tokens :] = sparse  # prompts reuse their codes as PE
 
-        q, img_tokens = queries, img_tokens
+        q = queries
         for block in self.blocks:
             q, img_tokens = block(q, img_tokens, query_pe, pe_tokens)
         q = q + self.final_attn(q + query_pe, img_tokens + pe_tokens, img_tokens)
 
-        iou_tok = q[0]
-        mask_toks = q[1 : 1 + self.num_mask_tokens]
-        img_grid = img_tokens.reshape(gh, gw, d)
+        iou_toks = q[:, 0]  # (K, D)
+        mask_toks = q[:, 1 : 1 + self.num_mask_tokens]  # (K, M, D)
 
-        logits = np.empty((self.num_mask_tokens, gh, gw), dtype=np.float32)
-        for i, hyper in enumerate(self.hypernets):
-            vec = hyper(mask_toks[i][None])[0]
-            logits[i] = img_grid @ vec
+        # (K, D, M): all hypernetwork vectors, so one (N, D) @ (D, M) GEMM per
+        # prompt covers every mask token.  Every matmul here keeps a leading
+        # batch axis (inputs shaped (K, 1, D) / (K, N, D)) so the per-slice
+        # GEMM dims are independent of K — that K-invariance is what makes
+        # batched == serial bit-for-bit.
+        vecs = np.ascontiguousarray(
+            np.stack(
+                [hyper(mask_toks[:, i][:, None, :])[:, 0] for i, hyper in enumerate(self.hypernets)],
+                axis=2,
+            )
+        )
+        prod = np.matmul(img_tokens, vecs)  # (K, gh*gw, M)
+        logits = np.ascontiguousarray(prod.transpose(0, 2, 1)).reshape(
+            k, self.num_mask_tokens, gh, gw
+        )
         if output_shape is not None:
             oh, ow = output_shape
-            scaled = np.stack(
+            logits = np.stack(
                 [
-                    zoom(logits[i], (oh / gh, ow / gw), order=1, mode="nearest", grid_mode=True)[:oh, :ow]
-                    for i in range(self.num_mask_tokens)
+                    [
+                        zoom(logits[j, i], (oh / gh, ow / gw), order=1, mode="nearest", grid_mode=True)[:oh, :ow]
+                        for i in range(self.num_mask_tokens)
+                    ]
+                    for j in range(k)
                 ]
-            )
-            logits = scaled.astype(np.float32)
-        iou_logits = self.iou_head(iou_tok[None])[0]
-        return DecoderOutput(mask_logits=logits, iou_logits=iou_logits, tokens=q)
+            ).astype(np.float32)
+        iou_logits = self.iou_head(iou_toks[:, None, :])[:, 0]  # (K, num_mask_tokens)
+        return [
+            DecoderOutput(mask_logits=logits[j], iou_logits=iou_logits[j], tokens=q[j])
+            for j in range(k)
+        ]

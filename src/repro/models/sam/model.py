@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...cache import MISS, InferenceCache, array_content_key, combine_keys, config_fingerprint, get_cache
 from ...errors import ModelConfigError, PromptError
 from ...utils.rng import derive_seed
 from ..nn import ParamFactory
@@ -81,9 +82,13 @@ class Sam:
 class SamPredictor:
     """Stateful per-image predictor (the API applications use)."""
 
-    def __init__(self, sam: Sam | None = None) -> None:
+    def __init__(self, sam: Sam | None = None, *, cache: InferenceCache | None = None) -> None:
         self.sam = sam or Sam()
+        self.cache = cache if cache is not None else get_cache()
+        # Any config or analytic-head change invalidates every cached product.
+        self._fingerprint = config_fingerprint(self.sam.config, self.sam.analytic)
         self._image: np.ndarray | None = None
+        self._image_key: str | None = None
         self._embedding: np.ndarray | None = None
         self._dense_pe: np.ndarray | None = None
         self._ctx: AnalyticContext | None = None
@@ -109,14 +114,26 @@ class SamPredictor:
         if img.min() < -1e-4 or img.max() > 1 + 1e-4:
             raise PromptError("set_image expects a [0,1] float image; run the adaptation layer first")
         self._image = img
-        self._embedding = self.sam.image_encoder(img)
-        gh, gw, _ = self._embedding.shape
-        self._dense_pe = self.sam.prompt_encoder.dense_pe((gh, gw))
-        self._ctx = self.sam.analytic.prepare(img)
+        self._image_key = combine_keys(array_content_key(img), self._fingerprint)
+        cached = self.cache.get("sam.image", self._image_key)
+        if cached is MISS:
+            embedding = self.sam.image_encoder(img)
+            ctx = self.sam.analytic.prepare(img)
+            self.cache.put("sam.image", self._image_key, (embedding, ctx))
+        else:
+            embedding, ctx = cached
+        self._embedding = embedding
+        self._ctx = ctx
+        gh, gw, _ = embedding.shape
+        pe_key = combine_keys(f"{gh}x{gw}", self._fingerprint)
+        self._dense_pe = self.cache.get_or_compute(
+            "sam.dense_pe", pe_key, lambda: self.sam.prompt_encoder.dense_pe((gh, gw))
+        )
         self.last_decoder_output = None
 
     def reset_image(self) -> None:
         self._image = None
+        self._image_key = None
         self._embedding = None
         self._dense_pe = None
         self._ctx = None
@@ -155,7 +172,7 @@ class SamPredictor:
 
         hyps: list[MaskHypothesis]
         if box is not None:
-            hyps = self.sam.analytic.masks_from_box(self._ctx, np.asarray(box))
+            hyps = self.masks_from_box(np.asarray(box))
             if point_coords is not None:
                 hyps += self.sam.analytic.masks_from_points(
                     self._ctx, np.asarray(point_coords), np.asarray(point_labels)
@@ -176,6 +193,69 @@ class SamPredictor:
         logits = self.last_decoder_output.mask_logits
         low_res = logits[: n] if logits.shape[0] >= n else np.repeat(logits[:1], n, axis=0)
         return masks, scores, low_res
+
+    # -- batched box prompts ---------------------------------------------------
+
+    def decode_boxes(self, boxes: np.ndarray) -> list[DecoderOutput]:
+        """Run the transformer path for K box prompts in ONE decoder pass.
+
+        Stacks all box tokens into a ``(K, 2, D)`` prompt batch so the
+        prompt-encoder/mask-decoder matmuls execute once at shape ``(K, …)``
+        instead of K times.  Sets ``last_decoder_output`` to the final box's
+        output, matching a serial prompt loop.  Decoder outputs are cached
+        per (image content, box set).
+        """
+        if self._image is None or self._embedding is None:
+            raise PromptError("call set_image before predicting")
+        b = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+        if b.shape[0] == 0:
+            return []
+        key = combine_keys(self._image_key, array_content_key(b))
+        outputs = self.cache.get("sam.decode", key)
+        if outputs is MISS:
+            h, w = self._image.shape
+            sparse = self.sam.prompt_encoder.encode_boxes((h, w), b)
+            outputs = self.sam.mask_decoder.decode_batch(self._embedding, self._dense_pe, sparse)
+            self.cache.put("sam.decode", key, outputs)
+        self.last_decoder_output = outputs[-1]
+        return outputs
+
+    def predict_boxes(
+        self, boxes: np.ndarray, *, multimask_output: bool = True
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Batched equivalent of calling :meth:`predict` once per box.
+
+        Returns one ``(masks, scores, low_res_logits)`` triple per box, in
+        input order, with the decoder run once for the whole box stack.
+        """
+        b = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+        outputs = self.decode_boxes(b)
+        results: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for box, out in zip(b, outputs):
+            hyps = sorted(self.masks_from_box(box), key=lambda hh: -hh.score)
+            if not multimask_output:
+                hyps = hyps[:1]
+            masks = np.stack([hh.mask for hh in hyps], axis=0)
+            scores = np.array([hh.score for hh in hyps], dtype=np.float32)
+            n = len(hyps)
+            logits = out.mask_logits
+            low_res = logits[:n] if logits.shape[0] >= n else np.repeat(logits[:1], n, axis=0)
+            results.append((masks, scores, low_res))
+        return results
+
+    def masks_from_box(self, box: np.ndarray) -> list[MaskHypothesis]:
+        """Analytic hypotheses for one box on the current image, cached.
+
+        HITL loops and grounded selection revisit the same (image, box)
+        pairs; content addressing makes the second visit free.
+        """
+        if self._ctx is None:
+            raise PromptError("call set_image before predicting")
+        b = np.asarray(box, dtype=np.float64).reshape(4)
+        key = combine_keys(self._image_key, array_content_key(b))
+        return self.cache.get_or_compute(
+            "sam.analytic_box", key, lambda: self.sam.analytic.masks_from_box(self._ctx, b)
+        )
 
     def score_terms(self, mask: np.ndarray) -> dict[str, float]:
         """Quality decomposition for an arbitrary mask on the current image."""

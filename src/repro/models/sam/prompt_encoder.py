@@ -37,6 +37,22 @@ class PromptEncoder:
         """Positional codes for the image-embedding grid, ``(gh, gw, D)``."""
         return self.pe.encode_grid(grid)
 
+    def encode_boxes(self, image_shape: tuple[int, int], boxes: np.ndarray) -> np.ndarray:
+        """Encode K box prompts at once: ``(K, 4)`` XYXY → ``(K, 2, D)`` tokens.
+
+        One positional-encoding matmul covers all 2K corners, so the batched
+        mask decoder receives its whole prompt stack from a single pass.
+        Tokens are element-for-element identical to K calls of :meth:`encode`.
+        """
+        h, w = image_shape
+        b = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+        if b.shape[0] == 0:
+            return np.zeros((0, 2, self.embed_dim), dtype=np.float32)
+        scale = np.array([w, h, w, h], dtype=np.float32)
+        corners01 = (b / scale).reshape(-1, 2, 2)  # per box: [[x0,y0],[x1,y1]]
+        codes = self.pe.encode_points(corners01.reshape(-1, 2)).reshape(b.shape[0], 2, self.embed_dim)
+        return (codes + self.type_embed[2:4]).astype(np.float32)
+
     def encode(
         self,
         image_shape: tuple[int, int],

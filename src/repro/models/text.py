@@ -15,6 +15,7 @@ background", "membrane") plus generic visual words ("bright", "dark",
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass
 
@@ -111,6 +112,9 @@ class ConceptLexicon:
         for word, vec in self.entries.items():
             if vec.shape != (len(FEATURE_NAMES),):
                 raise PromptError(f"lexicon entry {word!r} has shape {vec.shape}")
+        self._version = 0
+        self._fp: str | None = None
+        self._fp_version = -1
 
     def add(self, word: str, vector: np.ndarray, *, bias: float | None = None) -> None:
         """Register a new concept (the platform's vocabulary-extension hook).
@@ -124,6 +128,24 @@ class ConceptLexicon:
         self.entries[word.lower()] = vec
         if bias is not None:
             self.biases[word.lower()] = float(bias)
+        self._version += 1
+
+    def fingerprint(self) -> str:
+        """Content hash over entries and biases (cache-key component).
+
+        Recomputed lazily: :meth:`add` bumps a version counter, so a
+        calibrated or extended vocabulary invalidates cached text encodings
+        without hashing the lexicon on every prompt.
+        """
+        if self._fp is None or self._fp_version != self._version:
+            h = hashlib.sha1()
+            for word in sorted(self.entries):
+                h.update(word.encode())
+                h.update(np.ascontiguousarray(self.entries[word]))
+                h.update(repr(self.biases.get(word)).encode())
+            self._fp = h.hexdigest()
+            self._fp_version = self._version
+        return self._fp
 
     def __contains__(self, word: str) -> bool:
         return word.lower() in self.entries

@@ -68,9 +68,15 @@ class StageRecord:
 
 @dataclass
 class StageProfiler:
-    """Accumulates wall time per named stage across repeated pipeline runs."""
+    """Accumulates wall time per named stage across repeated pipeline runs.
+
+    Besides stage timings the profiler carries named integer *counters*
+    (cache hits/misses/evictions, bytes per tier, …) so one object feeds
+    both the timing table and the Fig. 8 dashboard's cache card.
+    """
 
     records: dict[str, StageRecord] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
 
     @contextmanager
     def stage(self, name: str):
@@ -82,6 +88,23 @@ class StageProfiler:
             dt = time.perf_counter() - t0
             self.records.setdefault(name, StageRecord(name)).add(dt)
 
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Set counter ``name`` to an absolute value (gauges: bytes, entries)."""
+        self.counters[name] = int(value)
+
+    def set_counters(self, values: dict[str, int]) -> None:
+        """Bulk :meth:`set_counter` (e.g. a cache counter snapshot)."""
+        for name, value in values.items():
+            self.set_counter(name, value)
+
+    def counter_rows(self) -> list[dict]:
+        """Counters as name-sorted rows for tables and the dashboard."""
+        return [{"counter": k, "value": self.counters[k]} for k in sorted(self.counters)]
+
     def merge(self, other: "StageProfiler") -> None:
         """Fold another profiler's records into this one (for Mode B workers)."""
         for name, rec in other.records.items():
@@ -90,6 +113,8 @@ class StageProfiler:
             mine.total_s += rec.total_s
             mine.min_s = min(mine.min_s, rec.min_s)
             mine.max_s = max(mine.max_s, rec.max_s)
+        for name, value in other.counters.items():
+            self.count(name, value)
 
     def total(self) -> float:
         """Sum of all stage totals (>= true wall time when stages nest)."""
@@ -110,15 +135,24 @@ class StageProfiler:
         ]
 
     def format_table(self) -> str:
-        """Fixed-width text table, largest total first."""
+        """Fixed-width text table, largest total first; counters below."""
         rows = self.as_rows()
-        if not rows:
+        if not rows and not self.counters:
             return "(no stages recorded)"
-        header = f"{'stage':<28}{'calls':>7}{'total[s]':>11}{'mean[s]':>11}{'min[s]':>11}{'max[s]':>11}"
-        lines = [header, "-" * len(header)]
-        for r in rows:
-            lines.append(
-                f"{r['stage']:<28}{r['calls']:>7}{r['total_s']:>11.4f}"
-                f"{r['mean_s']:>11.4f}{r['min_s']:>11.4f}{r['max_s']:>11.4f}"
-            )
+        lines: list[str] = []
+        if rows:
+            header = f"{'stage':<28}{'calls':>7}{'total[s]':>11}{'mean[s]':>11}{'min[s]':>11}{'max[s]':>11}"
+            lines += [header, "-" * len(header)]
+            for r in rows:
+                lines.append(
+                    f"{r['stage']:<28}{r['calls']:>7}{r['total_s']:>11.4f}"
+                    f"{r['mean_s']:>11.4f}{r['min_s']:>11.4f}{r['max_s']:>11.4f}"
+                )
+        if self.counters:
+            if lines:
+                lines.append("")
+            chead = f"{'counter':<40}{'value':>15}"
+            lines += [chead, "-" * len(chead)]
+            for row in self.counter_rows():
+                lines.append(f"{row['counter']:<40}{row['value']:>15}")
         return "\n".join(lines)

@@ -11,9 +11,22 @@ import numpy as np
 import pytest
 
 from repro.adapt import robust_normalize
+from repro.cache import reset_cache
 from repro.core.pipeline import ZenesisPipeline
 from repro.data import make_benchmark_dataset, make_sample
 from repro.data.synthesis.phantoms import disk_phantom, needles_phantom, two_phase_phantom
+
+
+@pytest.fixture(autouse=True)
+def _fresh_inference_cache():
+    """Hermetic tests: each test starts with an empty global inference cache.
+
+    Session-scoped pipelines keep the cache instance they were built with,
+    so they still benefit from within-instance reuse; only the *global*
+    handle is renewed, preventing cross-test hit/miss leakage.
+    """
+    reset_cache()
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,117 @@
+"""Batched box-prompt decoding must be bit-for-bit identical to the serial path.
+
+The batched decoder stacks K box prompts on a leading axis and keeps every
+matmul's per-slice GEMM shape independent of K, so ``predict_boxes`` /
+``decode_boxes`` reproduce K serial ``predict(box=...)`` calls exactly —
+masks, IoU scores, low-res logits, and raw decoder products all compare
+with ``np.array_equal``, not ``allclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, InferenceCache
+from repro.models.sam.model import Sam, SamPredictor
+
+
+def _disabled_cache() -> InferenceCache:
+    return InferenceCache(CacheConfig(enabled=False))
+
+
+@pytest.fixture(scope="module")
+def sam() -> Sam:
+    return Sam()
+
+
+@pytest.fixture(scope="module")
+def image(crystalline_sample) -> np.ndarray:
+    from repro.adapt import robust_normalize
+
+    return robust_normalize(crystalline_sample.volume.voxels[0])
+
+
+BOXES = np.array(
+    [
+        [10.0, 12.0, 48.0, 50.0],
+        [30.0, 8.0, 100.0, 60.0],
+        [5.0, 70.0, 60.0, 120.0],
+        [64.0, 64.0, 127.0, 127.0],
+        [20.0, 20.0, 40.0, 90.0],
+    ],
+    dtype=np.float64,
+)
+
+
+def _serial(sam: Sam, image: np.ndarray, boxes: np.ndarray):
+    pred = SamPredictor(sam, cache=_disabled_cache())
+    pred.set_image(image)
+    results, decoder_outputs = [], []
+    for box in boxes:
+        results.append(pred.predict(box=box, multimask_output=True))
+        decoder_outputs.append(pred.last_decoder_output)
+    return results, decoder_outputs, pred.last_decoder_output
+
+
+def _batched(sam: Sam, image: np.ndarray, boxes: np.ndarray):
+    pred = SamPredictor(sam, cache=_disabled_cache())
+    pred.set_image(image)
+    results = pred.predict_boxes(boxes, multimask_output=True)
+    return results, pred.decode_boxes(boxes), pred.last_decoder_output
+
+
+@pytest.mark.parametrize("k", [1, 2, 5])
+def test_batched_equals_serial_bitwise(sam, image, k):
+    boxes = BOXES[:k]
+    serial, serial_outs, _ = _serial(sam, image, boxes)
+    batched, batched_outs, _ = _batched(sam, image, boxes)
+    assert len(serial) == len(batched) == k
+    for (sm, ss, sl), (bm, bs, bl) in zip(serial, batched):
+        assert np.array_equal(sm, bm)  # masks
+        assert np.array_equal(ss, bs)  # IoU scores
+        assert np.array_equal(sl, bl)  # low-res logits
+    for so, bo in zip(serial_outs, batched_outs):
+        assert np.array_equal(so.mask_logits, bo.mask_logits)
+        assert np.array_equal(so.iou_logits, bo.iou_logits)
+        assert np.array_equal(so.tokens, bo.tokens)
+
+
+def test_last_decoder_output_matches_serial_loop(sam, image):
+    _, _, serial_last = _serial(sam, image, BOXES)
+    _, _, batched_last = _batched(sam, image, BOXES)
+    assert np.array_equal(serial_last.mask_logits, batched_last.mask_logits)
+    assert np.array_equal(serial_last.iou_logits, batched_last.iou_logits)
+
+
+def test_decoder_runs_once_for_k_boxes(sam, image, monkeypatch):
+    calls = []
+    orig = type(sam.mask_decoder).decode_batch
+
+    def counting(self, *args, **kwargs):
+        out = orig(self, *args, **kwargs)
+        calls.append(len(out))
+        return out
+
+    monkeypatch.setattr(type(sam.mask_decoder), "decode_batch", counting)
+    pred = SamPredictor(sam, cache=_disabled_cache())
+    pred.set_image(image)
+    pred.predict_boxes(BOXES)
+    assert calls == [len(BOXES)]  # one pass, all K prompts
+
+
+def test_empty_box_set(sam, image):
+    pred = SamPredictor(sam, cache=_disabled_cache())
+    pred.set_image(image)
+    assert pred.decode_boxes(np.zeros((0, 4))) == []
+    assert pred.predict_boxes(np.zeros((0, 4))) == []
+
+
+def test_decode_boxes_cached_across_calls(sam, image):
+    pred = SamPredictor(sam, cache=InferenceCache(CacheConfig(enabled=True, disk_enabled=False)))
+    pred.set_image(image)
+    first = pred.decode_boxes(BOXES)
+    second = pred.decode_boxes(BOXES)
+    assert pred.cache.stats.namespace("sam.decode").hits == 1
+    for a, b in zip(first, second):
+        assert a.mask_logits is b.mask_logits  # same cached objects
