@@ -31,16 +31,21 @@ Subpackages
 ``repro.parallel``  shared-memory worker pool and slice scheduling.
 ``repro.platform``  sessions, JSON API, HTTP server, figure rendering.
 ``repro.io``        from-scratch TIFF/PNG codecs and volume bundles.
+``repro.resilience`` retry/deadline policies, checkpoint/resume, fault
+                    injection, recovery-event counters.
 """
 
 from .core.pipeline import ZenesisConfig, ZenesisPipeline
 from .data.datasets import make_benchmark_dataset, make_sample
-from .errors import ReproError
+from .errors import CheckpointError, DeadlineExceededError, ReproError, RetryExhaustedError
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
+    "DeadlineExceededError",
     "ReproError",
+    "RetryExhaustedError",
     "ZenesisConfig",
     "ZenesisPipeline",
     "__version__",

@@ -7,6 +7,13 @@ two-level fan-out directory keyed by the content address; writes are atomic
 (tmp file + rename) so concurrent readers never observe torn entries.
 Disabled by default — enable via ``CacheConfig(disk_enabled=True)`` or
 ``REPRO_CACHE_DISK=1``.
+
+A corrupt entry (torn by a power cut, truncated by a full disk, damaged by
+bit rot) is **quarantined** on first read: moved into a ``.bad/`` subdir —
+excluded from scanning and eviction — counted in
+``TierStats.quarantined``, and never re-read.  The ``disk_corrupt`` fault
+(:mod:`repro.resilience.faults`) deliberately mangles just-written entries
+to exercise this path.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import os
 import pickle
 from pathlib import Path
 
+from ..resilience.events import record_event
+from ..resilience.faults import get_fault_plan
 from .stats import TierStats
 
 __all__ = ["DiskTier", "default_cache_dir"]
@@ -42,22 +51,45 @@ class DiskTier:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _entries(self):
+        """Live ``.pkl`` entries, excluding the ``.bad/`` quarantine dir."""
+        if not self.root.is_dir():
+            return
+        for p in self.root.glob("*/*.pkl"):
+            if p.parent.name != ".bad":
+                yield p
+
     def _scan(self) -> None:
         """Lazily compute occupancy from the directory tree."""
         if self._scanned:
             return
         total = 0
         count = 0
-        if self.root.is_dir():
-            for p in self.root.glob("*/*.pkl"):
-                try:
-                    total += p.stat().st_size
-                    count += 1
-                except OSError:
-                    continue
+        for p in self._entries():
+            try:
+                total += p.stat().st_size
+                count += 1
+            except OSError:
+                continue
         self.stats.bytes_used = total
         self.stats.entries = count
         self._scanned = True
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into ``.bad/`` so it is never re-read."""
+        bad_dir = self.root / ".bad"
+        try:
+            size = path.stat().st_size
+            bad_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, bad_dir / path.name)
+        except OSError:
+            # Could not move it aside; unlink so it cannot be re-read.
+            size = 0
+            path.unlink(missing_ok=True)
+        self.stats.quarantined += 1
+        self.stats.bytes_used = max(0, self.stats.bytes_used - size)
+        self.stats.entries = max(0, self.stats.entries - 1)
+        record_event("cache.quarantined")
 
     def get(self, key: str, default=None):
         self._scan()
@@ -65,7 +97,13 @@ class DiskTier:
         try:
             with path.open("rb") as fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return default
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            # The entry exists but cannot be decoded: corrupt.  Quarantine
+            # it and report a miss — the caller recomputes and re-puts.
+            self._quarantine(path)
             self.stats.misses += 1
             return default
         try:
@@ -88,6 +126,8 @@ class DiskTier:
         except (OSError, pickle.PicklingError):
             tmp.unlink(missing_ok=True)
             return False
+        if get_fault_plan().should_fire("disk_corrupt", key=key[:12]):
+            path.write_bytes(b"\x80CORRUPTED-BY-FAULT-INJECTION")
         self.stats.puts += 1
         self.stats.bytes_used += size
         self.stats.entries += 1
@@ -98,7 +138,7 @@ class DiskTier:
         if self.stats.bytes_used <= self.byte_budget:
             return
         entries = []
-        for p in self.root.glob("*/*.pkl"):
+        for p in self._entries():
             try:
                 st = p.stat()
             except OSError:
@@ -116,9 +156,8 @@ class DiskTier:
         self.stats.entries = sum(1 for e in entries if e[2].exists())
 
     def clear(self) -> None:
-        if self.root.is_dir():
-            for p in self.root.glob("*/*.pkl"):
-                p.unlink(missing_ok=True)
+        for p in self._entries():
+            p.unlink(missing_ok=True)
         self.stats.bytes_used = 0
         self.stats.entries = 0
         self._scanned = True

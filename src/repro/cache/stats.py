@@ -22,6 +22,7 @@ class TierStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    quarantined: int = 0  # corrupt entries moved aside, never re-read
     bytes_used: int = 0
     byte_budget: int = 0
     entries: int = 0
@@ -33,6 +34,7 @@ class TierStats:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
             "bytes_used": self.bytes_used,
             "byte_budget": self.byte_budget,
             "entries": self.entries,
@@ -86,6 +88,7 @@ class CacheStats:
             out[f"cache.{name}.hits"] = float(t.hits)
             out[f"cache.{name}.misses"] = float(t.misses)
             out[f"cache.{name}.evictions"] = float(t.evictions)
+            out[f"cache.{name}.quarantined"] = float(t.quarantined)
             out[f"cache.{name}.bytes"] = float(t.bytes_used)
             out[f"cache.{name}.entries"] = float(t.entries)
         for name, ns in sorted(self.namespaces.items()):

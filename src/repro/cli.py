@@ -37,6 +37,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slice", type=int, default=None, help="volume slice to segment (default: all)")
     p.add_argument("--no-cache", action="store_true", help="disable the content-addressed inference cache")
     p.add_argument("--profile", action="store_true", help="print per-stage timings and cache counters")
+    p.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="persist per-slice masks here so an interrupted volume job can resume",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a volume job from --checkpoint-dir (skips completed slices)",
+    )
 
     p = sub.add_parser("batch", help="Mode B batch segmentation of a volume")
     p.add_argument("path", type=Path)
@@ -77,14 +88,25 @@ def _cmd_segment(args) -> int:
     from .viz.overlay import overlay_mask
 
     arr = load_image_file(args.path)
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     pipeline = ZenesisPipeline(ZenesisConfig(use_cache=not args.no_cache))
     out = args.out or args.path.with_suffix(".masks.npz")
     if arr.ndim == 3 and args.slice is None:
-        result = pipeline.segment_volume(arr, args.prompt)
+        result = pipeline.segment_volume(
+            arr, args.prompt, checkpoint_dir=args.checkpoint_dir, resume=args.resume
+        )
         masks = result.masks
-        print(f"{masks.shape[0]} slices; volume fraction {result.volume_fraction():.3f}")
+        n_resumed = sum(1 for sr in result.slice_results if sr.metadata.get("resumed"))
+        resumed_note = f" ({n_resumed} slices resumed from checkpoint)" if n_resumed else ""
+        print(
+            f"{masks.shape[0]} slices; volume fraction {result.volume_fraction():.3f}{resumed_note}"
+        )
         save_volume_bundle(out, arr, masks, {"prompt": args.prompt})
     else:
+        if args.checkpoint_dir is not None:
+            print("note: --checkpoint-dir only applies to full-volume runs", file=sys.stderr)
         img = arr[args.slice] if arr.ndim == 3 else arr
         result = pipeline.segment_image(img, args.prompt)
         print(f"boxes {result.n_boxes}; coverage {result.coverage:.3f}")
@@ -140,8 +162,14 @@ def _cmd_evaluate(args) -> int:
         print()
         print(paper_table(ev))
     if args.dashboard is not None:
+        from .resilience import events_snapshot
+
         args.dashboard.write_text(
-            render_dashboard(evaluations, cache_counters=evaluator.last_cache_counters)
+            render_dashboard(
+                evaluations,
+                cache_counters=evaluator.last_cache_counters,
+                resilience_counters=events_snapshot(),
+            )
         )
         print(f"\ndashboard -> {args.dashboard}")
     return 0

@@ -19,6 +19,8 @@ from ..errors import ParallelError
 from ..parallel.pool import default_worker_count, run_partitioned
 from ..parallel.scheduler import SlicePartition, block_partition
 from ..parallel.sharedmem import SharedArraySpec, SharedNDArray
+from ..resilience.events import EVENTS
+from ..resilience.faults import get_fault_plan
 from ..utils.timing import Timer
 from .pipeline import ZenesisConfig, ZenesisPipeline
 from .temporal import refine_box_sequences
@@ -34,6 +36,10 @@ class BatchConfig:
     halo: int = 3  # temporal-context slices fed to each block
     temporal: bool = True
     pipeline: ZenesisConfig = field(default_factory=ZenesisConfig)
+    # Supervision (see repro.parallel.pool): wall-clock budget for the whole
+    # pool and how many inline re-executions a failed partition gets.
+    timeout_s: float = 600.0
+    max_failovers: int = 1
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,7 @@ class BatchReport:
     n_workers: int
     wall_s: float
     per_worker: tuple[dict, ...]
+    n_failovers: int = 0  # partitions recovered by inline re-execution
 
 
 def _process_block(
@@ -63,10 +70,14 @@ def _process_block(
         z_order = partition.all_slices
         adapted: dict[int, np.ndarray] = {}
         detections = []
+        fault_plan = get_fault_plan()
         for z in z_order:
+            # worker_crash is child-only: the parent's inline re-execution of
+            # this partition after a crash does not re-fire it.
+            fault_plan.crash_if("worker_crash", child_only=True, slice=z)
             det_img, seg_img = pipeline.adapt(vol.array[z])
             adapted[z] = seg_img
-            detections.append(pipeline.ground(det_img, prompt))
+            detections.append(pipeline.ground(det_img, prompt, slice_index=z))
         boxes = [d.boxes for d in detections]
         n_replaced = 0
         if config.temporal:
@@ -112,11 +123,19 @@ def segment_volume_batch(
     partitions = block_partition(n, n_workers, halo=cfg.halo if cfg.temporal else 0)
 
     timer = Timer().start()
+    failovers_before = EVENTS.get("pool.failovers")
     with SharedNDArray.from_array(voxels) as vol_shm, SharedNDArray.create(
         voxels.shape, np.bool_
     ) as out_shm:
         worker_reports = run_partitioned(
-            _process_block, partitions, vol_shm.spec, out_shm.spec, cfg, prompt
+            _process_block,
+            partitions,
+            vol_shm.spec,
+            out_shm.spec,
+            cfg,
+            prompt,
+            timeout_s=cfg.timeout_s,
+            max_failovers=cfg.max_failovers,
         )
         masks = np.array(out_shm.array, dtype=bool, copy=True)
     timer.stop()
@@ -125,5 +144,6 @@ def segment_volume_batch(
         n_workers=len(partitions),
         wall_s=timer.elapsed,
         per_worker=tuple(worker_reports),
+        n_failovers=EVENTS.get("pool.failovers") - failovers_before,
     )
     return masks, report

@@ -20,6 +20,7 @@ Every stage is timed into a :class:`~repro.utils.timing.StageProfiler`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 from scipy.ndimage import binary_dilation
@@ -30,11 +31,15 @@ from ..adapt.denoise import denoise_bilateral, flatfield_correct, unsharp_mask
 from ..cache import MISS, CacheConfig, InferenceCache, array_content_key, combine_keys, config_fingerprint, get_cache
 from ..data.image import ScientificImage
 from ..data.volume import ScientificVolume
-from ..errors import GroundingError
+from ..errors import GroundingError, PipelineError, RetryExhaustedError
 from ..models.dino import Detection, GroundingDino
 from ..models.registry import build_dino, build_sam
 from ..models.sam.analytic import AnalyticMaskHead, MaskHypothesis
 from ..models.sam.model import Sam, SamPredictor
+from ..resilience.checkpoint import CheckpointManager
+from ..resilience.events import events_snapshot, record_event
+from ..resilience.faults import get_fault_plan
+from ..resilience.policy import RetryPolicy
 from ..utils.timing import StageProfiler
 from .prompts import SpatialHints, TextPrompt
 from .results import SliceResult, VolumeResult
@@ -70,6 +75,10 @@ class ZenesisConfig:
     seed: int = 0
     strict_grounding: bool = False  # raise GroundingError when nothing grounds
     use_cache: bool = True  # content-addressed inference cache (--no-cache)
+    # Strict-mode grounding recovery: before raising GroundingError, retry
+    # with both thresholds multiplied by grounding_relax per attempt.
+    grounding_retries: int = 2
+    grounding_relax: float = 0.7
 
 
 class ZenesisPipeline:
@@ -93,6 +102,7 @@ class ZenesisPipeline:
         self.sam: Sam = build_sam(cfg.sam_name, seed=cfg.seed, analytic=AnalyticMaskHead(band_k=cfg.band_k))
         self.predictor = SamPredictor(self.sam, cache=self.cache)
         self.profiler = StageProfiler()
+        self._relaxed_dinos: dict[int, GroundingDino] = {}
         # Adaptation outputs depend only on these knobs, not the full config.
         self._adapt_fp = config_fingerprint(
             {
@@ -141,16 +151,82 @@ class ZenesisPipeline:
 
     # -- grounding -------------------------------------------------------------
 
-    def ground(self, detector_img: np.ndarray, prompt: str) -> Detection:
-        """Text → boxes/relevance on the detector-branch image."""
-        with self.profiler.stage("dino.ground"):
-            det = self.dino.ground(detector_img, prompt)
-        if self.config.strict_grounding and det.n_boxes == 0:
-            raise GroundingError(
-                f"prompt {prompt!r} grounded no regions "
-                f"(ungrounded words: {list(det.ungrounded)})"
+    def _relaxed_dino(self, level: int) -> GroundingDino:
+        """A detector with thresholds relaxed by ``grounding_relax**level``."""
+        dino = self._relaxed_dinos.get(level)
+        if dino is None:
+            cfg = self.config
+            factor = cfg.grounding_relax**level
+            dino = build_dino(
+                cfg.dino_name,
+                seed=cfg.seed,
+                cache=self.cache,
+                box_threshold=max(cfg.box_threshold * factor, 0.01),
+                text_threshold=max(cfg.text_threshold * factor, 0.0),
             )
-        return det
+            self._relaxed_dinos[level] = dino
+        return dino
+
+    def _ground_once(
+        self, detector_img: np.ndarray, prompt: str, level: int, slice_index: int | None
+    ) -> Detection:
+        """One grounding attempt at relaxation ``level`` (0 = configured)."""
+        with self.profiler.stage("dino.ground"):
+            if level == 0 and get_fault_plan().should_fire("grounding_empty", slice=slice_index):
+                h, w = np.asarray(detector_img).shape[:2]
+                return Detection(
+                    boxes=np.zeros((0, 4), dtype=np.float64),
+                    scores=np.zeros(0, dtype=np.float64),
+                    phrases=(),
+                    relevance=np.zeros((h, w), dtype=np.float32),
+                    ungrounded=("<fault:grounding_empty>",),
+                )
+            dino = self.dino if level == 0 else self._relaxed_dino(level)
+            return dino.ground(detector_img, prompt)
+
+    def ground(
+        self, detector_img: np.ndarray, prompt: str, *, slice_index: int | None = None
+    ) -> Detection:
+        """Text → boxes/relevance on the detector-branch image.
+
+        In strict mode an empty result is retried with progressively relaxed
+        box/text thresholds (``grounding_retries`` × ``grounding_relax``)
+        before :class:`GroundingError` is raised; a recovery is recorded in
+        the resilience counters.  Non-strict mode returns the empty
+        detection untouched — an empty slice is a valid answer there.
+        """
+        cfg = self.config
+        det = self._ground_once(detector_img, prompt, 0, slice_index)
+        if det.n_boxes > 0 or not cfg.strict_grounding:
+            return det
+        if cfg.grounding_retries > 0:
+            policy = RetryPolicy(
+                max_attempts=cfg.grounding_retries,
+                base_delay_s=0.0,
+                jitter=0.0,
+                retry_on=(GroundingError,),
+                seed=cfg.seed,
+            )
+
+            def attempt(i: int) -> Detection:
+                record_event("grounding.retries")
+                relaxed = self._ground_once(detector_img, prompt, i + 1, slice_index)
+                if relaxed.n_boxes == 0:
+                    raise GroundingError(f"relaxed grounding (level {i + 1}) still empty")
+                return relaxed
+
+            try:
+                recovered = policy.call(attempt, key=f"grounding:{prompt}")
+            except RetryExhaustedError:
+                pass
+            else:
+                record_event("grounding.recovered")
+                return recovered
+        raise GroundingError(
+            f"prompt {prompt!r} grounded no regions after "
+            f"{1 + max(cfg.grounding_retries, 0)} attempt(s) "
+            f"(ungrounded words: {list(det.ungrounded)})"
+        )
 
     # -- grounded mask selection -------------------------------------------------
 
@@ -265,6 +341,7 @@ class ZenesisPipeline:
                 )
             mask = mask | masks[0]
         self.profiler.set_counters(self.cache.counters())
+        self.profiler.set_counters(events_snapshot())
         return SliceResult(
             mask=mask,
             detection=detection,
@@ -281,13 +358,43 @@ class ZenesisPipeline:
         prompt: str | TextPrompt,
         *,
         temporal: bool = True,
+        checkpoint_dir: Path | str | None = None,
+        resume: bool = False,
     ) -> VolumeResult:
-        """Mode B: segment every slice with optional temporal box refinement."""
+        """Mode B: segment every slice with optional temporal box refinement.
+
+        With ``checkpoint_dir`` set, every completed slice mask is persisted
+        (atomic manifest + ``.npy`` shards); ``resume=True`` then reloads
+        completed slices from a previous interrupted run instead of
+        re-segmenting them.  The checkpoint is fingerprinted by (volume
+        content, prompt, config, temporal flag) so stale checkpoints from a
+        different job raise :class:`~repro.errors.CheckpointError`.
+        Adaptation and grounding are re-run on resume — temporal refinement
+        needs every slice's boxes, and both stages are deterministic (and
+        cached) — so resumed masks are bit-identical to an uninterrupted run.
+        """
         text = prompt.text if isinstance(prompt, TextPrompt) else str(prompt)
         voxels = volume.voxels if isinstance(volume, ScientificVolume) else np.asarray(volume)
         if voxels.ndim != 3:
             raise GroundingError(f"segment_volume expects a 3-D volume, got shape {voxels.shape}")
         n = voxels.shape[0]
+
+        ckpt: CheckpointManager | None = None
+        done: set[int] = set()
+        if checkpoint_dir is not None:
+            fingerprint = combine_keys(
+                array_content_key(voxels),
+                repr(text),
+                config_fingerprint(self.config),
+                f"temporal={bool(temporal)}",
+            )
+            ckpt = CheckpointManager(
+                checkpoint_dir, fingerprint=fingerprint, n_slices=n, meta={"prompt": text}
+            )
+            done = ckpt.load(resume=resume)
+            if done:
+                record_event("checkpoint.resumed_slices", len(done))
+        plan = get_fault_plan()
 
         # Only the segmenter-branch image is needed after grounding; dropping
         # det_img here halves the peak memory of the adapted-slice store.
@@ -295,7 +402,7 @@ class ZenesisPipeline:
         detections: list[Detection] = []
         for z in range(n):
             det_img, seg_img = self.adapt(voxels[z])
-            detections.append(self.ground(det_img, text))
+            detections.append(self.ground(det_img, text, slice_index=z))
             seg_imgs.append(seg_img)
 
         report = RefinementReport(n_slices=n)
@@ -309,8 +416,29 @@ class ZenesisPipeline:
         slice_results: list[SliceResult] = []
         masks = np.zeros(voxels.shape, dtype=bool)
         for z in range(n):
+            if plan.active:
+                plan.crash_if("volume_crash", slice=z)
+                if plan.should_fire("volume_abort", slice=z):
+                    raise PipelineError(f"injected volume_abort fault at slice {z}")
+            if ckpt is not None and z in done:
+                mask = np.asarray(ckpt.load_slice(z), dtype=bool)
+                masks[z] = mask
+                slice_results.append(
+                    SliceResult(
+                        mask=mask,
+                        detection=detections[z],
+                        per_box_masks=(),
+                        per_box_kinds=(),
+                        prompt=text,
+                        profiler=self.profiler,
+                        metadata={"slice": z, "resumed": True},
+                    )
+                )
+                continue
             mask, per_box, kinds = self.segment_with_boxes(seg_imgs[z], detections[z], per_slice_boxes[z])
             masks[z] = mask
+            if ckpt is not None:
+                ckpt.save_slice(z, mask)
             slice_results.append(
                 SliceResult(
                     mask=mask,
@@ -322,7 +450,10 @@ class ZenesisPipeline:
                     metadata={"slice": z},
                 )
             )
+        if ckpt is not None:
+            ckpt.finalize()
         self.profiler.set_counters(self.cache.counters())
+        self.profiler.set_counters(events_snapshot())
         return VolumeResult(
             masks=masks,
             slice_results=tuple(slice_results),

@@ -50,3 +50,24 @@ class ParallelError(ReproError, RuntimeError):
 
 class SessionError(ReproError, RuntimeError):
     """A platform session was driven through an invalid state transition."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint manifest or mask shard is unusable for resume.
+
+    Raised when a resume is requested against a manifest whose fingerprint
+    does not match the current (volume, prompt, config) triple, or when a
+    shard referenced by the manifest cannot be read back.
+    """
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """A :class:`repro.resilience.RetryPolicy` ran out of attempts.
+
+    The final underlying exception is attached as ``__cause__`` so callers
+    can still discriminate on the original failure mode.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A :class:`repro.resilience.Deadline` budget was exhausted mid-operation."""

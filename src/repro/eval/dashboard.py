@@ -84,17 +84,54 @@ def _cache_section(cache_counters: Mapping[str, int]) -> list[str]:
     return parts
 
 
+def _resilience_section(counters: Mapping[str, int]) -> list[str]:
+    """Resilience card: recovery-event counts (retries, failovers, resumes)."""
+
+    def total(*names: str) -> int:
+        return int(sum(counters.get(f"resilience.{n}", 0) for n in names))
+
+    cards = [
+        ("grounding retries", total("grounding.retries"), f"{total('grounding.recovered')} recovered"),
+        ("worker failovers", total("pool.failovers"), f"{total('pool.dead_workers')} dead, {total('pool.hung_workers')} hung"),
+        ("quarantined cache entries", total("cache.quarantined"), "moved to .bad/, never re-read"),
+        ("resumed slices", total("checkpoint.resumed_slices"), f"{total('checkpoint.saved_slices')} checkpointed"),
+    ]
+    parts = ["<h2>Resilience</h2>", '<div class="cards">']
+    for label, value, note in cards:
+        parts.append(
+            f"<div class='card'><span class='small'>{html.escape(label)}</span>"
+            f"<div class='value'>{value}</div>"
+            f"<span class='small'>{html.escape(note)}</span></div>"
+        )
+    parts.append("</div>")
+    rows = sorted(k for k in counters if k.startswith("resilience."))
+    if rows:
+        parts.append("<table><tr><th>counter</th><th>value</th></tr>")
+        for key in rows:
+            parts.append(
+                f"<tr><td class='name'>{html.escape(key)}</td><td>{counters[key]}</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p class='small'>no recovery events recorded this run</p>")
+    return parts
+
+
 def render_dashboard(
     evaluations: Mapping[str, MethodEvaluation],
     *,
     title: str = "Zenesis Evaluation Dashboard",
     cache_counters: Mapping[str, int] | None = None,
+    resilience_counters: Mapping[str, int] | None = None,
 ) -> str:
     """Render all evaluated methods into one HTML document.
 
     ``cache_counters`` (e.g. ``Evaluator.last_cache_counters`` or
     ``InferenceCache.counters()``) adds an inference-cache card showing the
-    hit rate and per-tier occupancy for the run.
+    hit rate and per-tier occupancy for the run.  ``resilience_counters``
+    (``repro.resilience.events_snapshot()``) adds a resilience card so
+    retries, failovers, quarantines, and checkpoint resumes are visible —
+    recoveries should never be silent.
     """
     parts = [
         "<!DOCTYPE html><html><head><meta charset='utf-8'>",
@@ -106,5 +143,7 @@ def render_dashboard(
         parts.extend(_method_section(name, ev))
     if cache_counters is not None:
         parts.extend(_cache_section(cache_counters))
+    if resilience_counters is not None:
+        parts.extend(_resilience_section(resilience_counters))
     parts.append("</body></html>")
     return "".join(parts)

@@ -1,10 +1,19 @@
 """A stdlib HTTP server exposing the JSON API (the web app's backend).
 
 ``POST /api`` with a JSON body → JSON response from :class:`ApiHandler`.
-``GET /`` serves a minimal landing page; ``GET /health`` a liveness probe.
+``GET /`` serves a minimal landing page; ``GET /health`` a liveness probe;
+``GET /ready`` a readiness probe (503 until the serving thread is up, and
+again after shutdown — the signal a load balancer drains on).
 Built on :mod:`http.server` (offline environment: no web frameworks), one
 request at a time — matching the single-GPU inference server the paper
 deploys.
+
+Failure contract: handler-level errors (unknown actions, bad params)
+arrive as ``{"ok": false, ...}`` JSON with HTTP 200 from
+:class:`ApiHandler`; an exception *escaping* the handler is a server bug
+and returns HTTP 500 with a structured body instead of a raw traceback on
+a 200.  Bodies over ``max_body_bytes`` are rejected with 413 before any
+parsing work.
 """
 
 from __future__ import annotations
@@ -13,9 +22,14 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..resilience.events import record_event
 from .api import ApiHandler
 
 __all__ = ["make_server", "PlatformServer"]
+
+#: Default request-body cap: generous for base64 volume uploads, small
+#: enough that one bad client cannot balloon resident memory.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 
 _LANDING = b"""<!DOCTYPE html><html><head><title>Zenesis (repro)</title></head>
 <body><h1>Zenesis reproduction platform</h1>
@@ -23,7 +37,7 @@ _LANDING = b"""<!DOCTYPE html><html><head><title>Zenesis (repro)</title></head>
 </body></html>"""
 
 
-def _make_handler(api: ApiHandler):
+def _make_handler(api: ApiHandler, state: dict, max_body_bytes: int):
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, fmt, *args):  # quiet by default
             pass
@@ -35,9 +49,17 @@ def _make_handler(api: ApiHandler):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_json(self, code: int, payload: dict) -> None:
+            self._send(code, json.dumps(payload).encode(), "application/json")
+
         def do_GET(self):
             if self.path == "/health":
                 self._send(200, b'{"status": "ok"}', "application/json")
+            elif self.path == "/ready":
+                if state.get("ready"):
+                    self._send(200, b'{"ready": true}', "application/json")
+                else:
+                    self._send(503, b'{"ready": false}', "application/json")
             elif self.path == "/":
                 self._send(200, _LANDING, "text/html")
             else:
@@ -49,12 +71,34 @@ def _make_handler(api: ApiHandler):
                 return
             try:
                 length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                self._send_json(400, {"ok": False, "error": "bad Content-Length"})
+                return
+            if length > max_body_bytes:
+                record_event("server.rejected_oversize")
+                self._send_json(
+                    413,
+                    {
+                        "ok": False,
+                        "error": f"request body of {length} bytes exceeds the "
+                        f"{max_body_bytes}-byte limit",
+                    },
+                )
+                return
+            try:
                 request = json.loads(self.rfile.read(length) or b"{}")
             except (ValueError, json.JSONDecodeError) as exc:
-                self._send(400, json.dumps({"ok": False, "error": f"bad JSON: {exc}"}).encode(), "application/json")
+                self._send_json(400, {"ok": False, "error": f"bad JSON: {exc}"})
                 return
-            response = api.handle(request)
-            self._send(200, json.dumps(response).encode(), "application/json")
+            try:
+                response = api.handle(request)
+            except Exception as exc:  # escaped handler exception: a 500, not a 200
+                record_event("server.handler_errors")
+                self._send_json(
+                    500, {"ok": False, "error": str(exc), "type": type(exc).__name__}
+                )
+                return
+            self._send_json(200, response)
 
     return Handler
 
@@ -62,9 +106,19 @@ def _make_handler(api: ApiHandler):
 class PlatformServer:
     """Owns the HTTP server thread; use as a context manager in tests."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, api: ApiHandler | None = None) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        api: ApiHandler | None = None,
+        *,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
         self.api = api or ApiHandler()
-        self.httpd = ThreadingHTTPServer((host, port), _make_handler(self.api))
+        self._state: dict = {"ready": False}
+        self.httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(self.api, self._state, max_body_bytes)
+        )
         self._thread: threading.Thread | None = None
 
     @property
@@ -76,12 +130,18 @@ class PlatformServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    @property
+    def ready(self) -> bool:
+        return bool(self._state["ready"])
+
     def start(self) -> "PlatformServer":
         self._thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
         self._thread.start()
+        self._state["ready"] = True
         return self
 
     def stop(self) -> None:
+        self._state["ready"] = False
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:

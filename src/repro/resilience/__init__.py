@@ -1,0 +1,39 @@
+"""Fault tolerance for the Zenesis pipeline (retry, deadline, checkpoint, faults).
+
+The paper's platform runs hour-long FIB-SEM volume jobs interactively; a
+single corrupt slice, hung worker, or transient grounding failure must not
+destroy accumulated work.  This package supplies the failure model:
+
+* :class:`RetryPolicy` / :class:`Deadline` — bounded retries with
+  deterministic-jitter backoff, and wall-clock budgets
+  (:mod:`repro.resilience.policy`);
+* :class:`CheckpointManager` — atomic per-slice manifest + mask shards for
+  ``segment_volume`` resume (:mod:`repro.resilience.checkpoint`);
+* :class:`FaultPlan` / :func:`get_fault_plan` — declarative fault injection
+  driven by ``$REPRO_FAULTS`` (:mod:`repro.resilience.faults`);
+* :data:`EVENTS` — the process-global recovery-event counters surfaced in
+  profiler tables and the dashboard (:mod:`repro.resilience.events`).
+
+See DESIGN.md §"Failure model and recovery" for what retries, what
+checkpoints, what degrades, and what raises.
+"""
+
+from .checkpoint import CheckpointManager
+from .events import EVENTS, ResilienceEvents, events_snapshot, record_event, reset_events
+from .faults import FaultPlan, FaultRule, fault_crash_exit_code, get_fault_plan
+from .policy import Deadline, RetryPolicy
+
+__all__ = [
+    "CheckpointManager",
+    "Deadline",
+    "EVENTS",
+    "FaultPlan",
+    "FaultRule",
+    "ResilienceEvents",
+    "RetryPolicy",
+    "events_snapshot",
+    "fault_crash_exit_code",
+    "get_fault_plan",
+    "record_event",
+    "reset_events",
+]

@@ -1,0 +1,150 @@
+"""Per-slice checkpointing for long-running volume jobs.
+
+A checkpoint directory holds a JSON manifest plus one ``.npy`` mask shard
+per completed slice.  Every write is atomic (tmp file + ``os.replace``), so
+a crash at any instant leaves either the previous or the next consistent
+state — never a torn shard or manifest.
+
+The manifest records a *fingerprint* of the job (volume content, prompt,
+pipeline config, temporal flag).  Resume refuses a mismatched fingerprint
+with :class:`~repro.errors.CheckpointError` rather than silently mixing
+masks from two different jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CheckpointError
+from .events import record_event
+
+__all__ = ["CheckpointManager"]
+
+MANIFEST_NAME = "manifest.json"
+_VERSION = 1
+
+
+class CheckpointManager:
+    """Owns one checkpoint directory for one volume-segmentation job."""
+
+    def __init__(
+        self,
+        root: Path | str,
+        *,
+        fingerprint: str,
+        n_slices: int,
+        meta: dict | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.fingerprint = str(fingerprint)
+        self.n_slices = int(n_slices)
+        self.meta = dict(meta or {})
+        self.completed: set[int] = set()
+        self.complete = False
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def shard_path(self, z: int) -> Path:
+        return self.root / f"slice_{int(z):05d}.npy"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def load(self, *, resume: bool = True) -> set[int]:
+        """Initialise the directory; returns the resumable slice set.
+
+        ``resume=False`` (or no manifest on disk) starts fresh.  A manifest
+        written by a *different* job (fingerprint mismatch) raises
+        :class:`CheckpointError` on resume — deleting the directory is the
+        explicit opt-out.  Shards listed in the manifest but unreadable on
+        disk are dropped back into the to-do set, not trusted.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if not resume or not self.manifest_path.exists():
+            self.completed = set()
+            self.complete = False
+            self._write_manifest()
+            return set()
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest {self.manifest_path}: {exc} "
+                "(delete the checkpoint directory to start over)"
+            ) from exc
+        if manifest.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint at {self.root} belongs to a different job "
+                f"(volume/prompt/config changed); delete it or pick another "
+                f"--checkpoint-dir"
+            )
+        if int(manifest.get("n_slices", -1)) != self.n_slices:
+            raise CheckpointError(
+                f"checkpoint at {self.root} covers {manifest.get('n_slices')} "
+                f"slices, current job has {self.n_slices}"
+            )
+        completed = set()
+        for z in manifest.get("completed", []):
+            z = int(z)
+            if 0 <= z < self.n_slices and self.shard_path(z).exists():
+                completed.add(z)
+            else:
+                record_event("checkpoint.dropped_shards")
+        self.completed = completed
+        self.complete = bool(manifest.get("complete", False))
+        return set(completed)
+
+    def save_slice(self, z: int, mask: np.ndarray) -> None:
+        """Persist one completed slice mask, then the updated manifest."""
+        z = int(z)
+        path = self.shard_path(z)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                np.save(fh, np.asarray(mask))
+            os.replace(tmp, path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(f"cannot write checkpoint shard {path}: {exc}") from exc
+        self.completed.add(z)
+        self._write_manifest()
+        record_event("checkpoint.saved_slices")
+
+    def load_slice(self, z: int) -> np.ndarray:
+        """Read one completed slice mask back (bit-identical to the save)."""
+        path = self.shard_path(int(z))
+        try:
+            return np.load(path, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"cannot read checkpoint shard {path}: {exc}") from exc
+
+    def finalize(self) -> None:
+        """Mark the job complete in the manifest."""
+        self.complete = True
+        self._write_manifest()
+
+    # -- internals ------------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "version": _VERSION,
+            "fingerprint": self.fingerprint,
+            "n_slices": self.n_slices,
+            "completed": sorted(self.completed),
+            "complete": self.complete,
+            "meta": self.meta,
+        }
+        tmp = self.manifest_path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload, indent=1))
+            os.replace(tmp, self.manifest_path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(f"cannot write checkpoint manifest: {exc}") from exc

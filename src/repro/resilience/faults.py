@@ -1,0 +1,183 @@
+"""Fault injection: a declarative plan of failures to provoke.
+
+The ``REPRO_FAULTS`` environment variable holds a comma-separated list of
+fault rules, each ``kind`` plus optional ``&``-joined conditions::
+
+    REPRO_FAULTS="worker_crash@slice=3,disk_corrupt@p=0.1,grounding_empty@slice=5"
+
+Supported kinds (hook sites in parentheses):
+
+``worker_crash``     hard-exit a forked pool worker (``os._exit``), only in
+                     child processes so the parent's inline re-execution
+                     of the partition succeeds (pool/batch workers).
+``volume_crash``     hard-exit the process mid ``segment_volume`` — for
+                     exercising checkpoint/resume across real process death.
+``volume_abort``     raise :class:`~repro.errors.PipelineError` mid
+                     ``segment_volume`` — the in-process (testable) twin of
+                     ``volume_crash``.
+``grounding_empty``  force one grounding call to return zero boxes
+                     (grounding stage), exercising the relaxed-threshold
+                     retry path.
+``disk_corrupt``     overwrite a just-written disk-cache entry with garbage
+                     (cache disk tier), exercising quarantine.
+
+Conditions: ``slice=N`` / ``worker=N`` match the hook's context, ``p=F``
+fires probabilistically (deterministic per-rule RNG stream), ``times=N``
+caps total fires.  Deterministic rules default to firing **once** (so a
+retry after the injected failure succeeds); ``p=``-rules default to
+unlimited fires.  An unset/empty spec is a no-op plan.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import GLOBAL_SEED, derive_seed, make_rng
+from .events import record_event
+
+__all__ = ["FaultRule", "FaultPlan", "get_fault_plan", "fault_crash_exit_code"]
+
+#: Exit code used by injected hard-crash faults (the docker OOM-kill code).
+CRASH_EXIT_CODE = 137
+
+# Recorded at import time; forked children inherit the parent's value, so a
+# differing os.getpid() identifies a worker process without any plumbing.
+_MAIN_PID = os.getpid()
+
+
+def fault_crash_exit_code() -> int:
+    return CRASH_EXIT_CODE
+
+
+def _parse_value(raw: str) -> int | float | str:
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+@dataclass
+class FaultRule:
+    """One injectable fault: a kind, match conditions, and a fire budget."""
+
+    kind: str
+    match: dict[str, int | float | str] = field(default_factory=dict)
+    p: float = 1.0
+    times: float = 1.0  # max fires; math.inf for unlimited
+    fired: int = 0
+    _rng: np.random.Generator | None = None
+
+    @classmethod
+    def parse(cls, entry: str, index: int) -> "FaultRule":
+        entry = entry.strip()
+        if not entry:
+            raise ValidationError("empty fault rule")
+        kind, _, conds = entry.partition("@")
+        kind = kind.strip()
+        if not kind:
+            raise ValidationError(f"fault rule {entry!r} has no kind")
+        match: dict[str, int | float | str] = {}
+        p = 1.0
+        times: float | None = None
+        for cond in filter(None, (c.strip() for c in conds.split("&"))):
+            key, sep, raw = cond.partition("=")
+            if not sep:
+                raise ValidationError(f"fault condition {cond!r} is not key=value")
+            value = _parse_value(raw.strip())
+            key = key.strip()
+            if key == "p":
+                p = float(value)
+                if not (0.0 <= p <= 1.0):
+                    raise ValidationError(f"fault probability must be in [0, 1], got {p}")
+            elif key == "times":
+                times = math.inf if raw.strip() in ("inf", "-1") else float(value)
+            else:
+                match[key] = value
+        if times is None:
+            # Probabilistic rules keep firing; deterministic ones fire once
+            # so the recovery path (retry/failover) can succeed.
+            times = math.inf if p < 1.0 else 1.0
+        rule = cls(kind=kind, match=match, p=p, times=times)
+        rule._rng = make_rng(derive_seed(GLOBAL_SEED, "faults", kind, index))
+        return rule
+
+    def should_fire(self, context: dict) -> bool:
+        if self.fired >= self.times:
+            return False
+        for key, expected in self.match.items():
+            if context.get(key) != expected:
+                return False
+        if self.p < 1.0:
+            assert self._rng is not None
+            if float(self._rng.random()) >= self.p:
+                return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """A parsed set of fault rules plus fire bookkeeping."""
+
+    def __init__(self, rules: list[FaultRule], spec: str = "") -> None:
+        self.rules = rules
+        self.spec = spec
+
+    @classmethod
+    def parse(cls, spec: str | None) -> "FaultPlan":
+        spec = (spec or "").strip()
+        if not spec:
+            return cls([], "")
+        rules = [FaultRule.parse(entry, i) for i, entry in enumerate(spec.split(",")) if entry.strip()]
+        return cls(rules, spec)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.rules)
+
+    def should_fire(self, kind: str, *, child_only: bool = False, **context) -> bool:
+        """True when a rule of ``kind`` matching ``context`` fires now.
+
+        ``child_only`` restricts the fault to forked worker processes (the
+        creating process never fires it), so a parent-side inline retry of
+        the same work is not re-injected.
+        """
+        if not self.rules:
+            return False
+        if child_only and os.getpid() == _MAIN_PID:
+            return False
+        for rule in self.rules:
+            if rule.kind == kind and rule.should_fire(context):
+                record_event(f"faults.{kind}")
+                return True
+        return False
+
+    def crash_if(self, kind: str, *, child_only: bool = False, **context) -> None:
+        """Hard-exit the process when the fault fires (no cleanup, no flush)."""
+        if self.should_fire(kind, child_only=child_only, **context):
+            os._exit(CRASH_EXIT_CODE)
+
+
+_plan_cache: tuple[str, FaultPlan] | None = None
+
+
+def get_fault_plan() -> FaultPlan:
+    """The plan described by ``$REPRO_FAULTS`` (re-parsed when it changes).
+
+    Re-parsing on change resets per-rule fire counts, which is what tests
+    toggling the variable expect; within one run the plan (and its
+    bookkeeping) is stable.
+    """
+    global _plan_cache
+    spec = os.environ.get("REPRO_FAULTS", "")
+    if _plan_cache is not None and _plan_cache[0] == spec:
+        return _plan_cache[1]
+    plan = FaultPlan.parse(spec)
+    _plan_cache = (spec, plan)
+    return plan

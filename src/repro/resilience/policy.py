@@ -1,0 +1,133 @@
+"""Retry and deadline policies.
+
+:class:`RetryPolicy` bounds re-attempts of a fallible operation with
+exponential backoff and *deterministic* jitter: the jitter for attempt *i*
+of stream ``key`` is derived through :func:`repro.utils.rng.derive_seed`,
+so a replayed run backs off identically — the same reproducibility contract
+the rest of the library keeps for model weights and synthetic data.
+
+:class:`Deadline` is a wall-clock budget object passed down through layers;
+each layer calls :meth:`Deadline.check` before starting more work and caps
+its own waits with :meth:`Deadline.clamp`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import DeadlineExceededError, ReproError, RetryExhaustedError
+from ..utils.rng import derive_seed, make_rng
+
+__all__ = ["RetryPolicy", "Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget: ``budget_s`` seconds from construction."""
+
+    def __init__(self, budget_s: float, *, clock: Callable[[], float] = time.monotonic) -> None:
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self._t0 = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self.budget_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def clamp(self, wait_s: float) -> float:
+        """Clip a wait interval to the remaining budget."""
+        return min(float(wait_s), self.remaining())
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.budget_s:.1f}s deadline "
+                f"({self.elapsed():.1f}s elapsed)"
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``retry_on`` is an exception *allowlist*: anything outside it propagates
+    immediately (a shape error will not fix itself on attempt 3).  When the
+    attempts are exhausted, :class:`RetryExhaustedError` is raised with the
+    final failure chained as ``__cause__``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25  # +/- fraction of the nominal delay
+    retry_on: tuple[type[BaseException], ...] = (ReproError,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay_s(self, attempt: int, key: str = "retry") -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered.
+
+        Deterministic: the jitter draw is seeded from (policy seed, key,
+        attempt), so two processes replaying the same stream sleep the same.
+        """
+        nominal = min(self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s)
+        if nominal <= 0.0 or self.jitter <= 0.0:
+            return max(nominal, 0.0)
+        rng = make_rng(derive_seed(self.seed, "retry-jitter", key, attempt))
+        factor = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return nominal * factor
+
+    def delays(self, key: str = "retry") -> Sequence[float]:
+        """All backoff delays this policy would apply, in order."""
+        return [self.delay_s(i, key) for i in range(1, self.max_attempts)]
+
+    def call(
+        self,
+        fn: Callable[[int], object],
+        *,
+        key: str = "retry",
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        deadline: Deadline | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        """Run ``fn(attempt)`` (attempt = 0, 1, …) until it succeeds.
+
+        ``on_retry(next_attempt, exc)`` fires before each re-attempt — the
+        hook where callers record recovery events or relax parameters.
+        A ``deadline`` bounds the total time including backoff sleeps.
+        """
+        last_exc: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            if deadline is not None:
+                deadline.check(f"retryable operation {key!r}")
+            try:
+                return fn(attempt)
+            except self.retry_on as exc:
+                last_exc = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt + 1, exc)
+                delay = self.delay_s(attempt + 1, key)
+                if deadline is not None:
+                    delay = deadline.clamp(delay)
+                if delay > 0.0:
+                    sleep(delay)
+        raise RetryExhaustedError(
+            f"{key!r} failed after {self.max_attempts} attempt(s): {last_exc!r}"
+        ) from last_exc

@@ -15,6 +15,7 @@ from repro.cache import reset_cache
 from repro.core.pipeline import ZenesisPipeline
 from repro.data import make_benchmark_dataset, make_sample
 from repro.data.synthesis.phantoms import disk_phantom, needles_phantom, two_phase_phantom
+from repro.resilience import reset_events
 
 
 @pytest.fixture(autouse=True)
@@ -23,9 +24,11 @@ def _fresh_inference_cache():
 
     Session-scoped pipelines keep the cache instance they were built with,
     so they still benefit from within-instance reuse; only the *global*
-    handle is renewed, preventing cross-test hit/miss leakage.
+    handle is renewed, preventing cross-test hit/miss leakage.  The global
+    resilience-event counters are cleared for the same reason.
     """
     reset_cache()
+    reset_events()
     yield
 
 

@@ -220,8 +220,8 @@ class TestPipelineReuse:
         b = pipe.segment_image(img, "catalyst particles")
         assert not pipe.cache.enabled
         assert pipe.cache.counters() == {"cache.memory.hits": 0, "cache.memory.misses": 0,
-                                         "cache.memory.evictions": 0, "cache.memory.bytes": 0,
-                                         "cache.memory.entries": 0}
+                                         "cache.memory.evictions": 0, "cache.memory.quarantined": 0,
+                                         "cache.memory.bytes": 0, "cache.memory.entries": 0}
         assert np.array_equal(a.mask, b.mask)
 
     def test_cached_and_uncached_results_identical(self, crystalline_sample):

@@ -70,6 +70,25 @@ class TestSegment:
         assert masks is not None and masks.any()
         assert meta["prompt"] == "catalyst particles"
 
+    def test_checkpoint_then_resume(self, volume_file, tmp_path, capsys):
+        base = ["segment", str(volume_file), "catalyst particles"]
+        ckdir = tmp_path / "ck"
+        first = tmp_path / "first.npz"
+        assert main([*base, "--out", str(first), "--checkpoint-dir", str(ckdir)]) == 0
+        assert (ckdir / "manifest.json").exists()
+        capsys.readouterr()
+        resumed = tmp_path / "resumed.npz"
+        assert main([*base, "--out", str(resumed), "--checkpoint-dir", str(ckdir), "--resume"]) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().out
+        _, m1, _ = load_volume_bundle(first)
+        _, m2, _ = load_volume_bundle(resumed)
+        assert np.array_equal(m1, m2)
+
+    def test_resume_requires_checkpoint_dir(self, volume_file, capsys):
+        rc = main(["segment", str(volume_file), "catalyst particles", "--resume"])
+        assert rc == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
 
 class TestBatch:
     def test_batch_runs(self, volume_file, tmp_path, capsys):

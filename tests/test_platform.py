@@ -192,3 +192,37 @@ class TestServer:
             except urllib.error.HTTPError as exc:
                 code = exc.code
             assert code == 404
+
+    def test_ready_probe(self):
+        srv = PlatformServer()
+        assert not srv.ready
+        with srv:
+            ready = json.loads(urllib.request.urlopen(srv.url + "/ready", timeout=10).read())
+            assert ready == {"ready": True}
+        assert not srv.ready
+
+    def test_handler_exception_returns_500(self):
+        class BoomHandler(ApiHandler):
+            def handle(self, request):
+                raise RuntimeError("kaboom")
+
+        with PlatformServer(api=BoomHandler()) as srv:
+            req = urllib.request.Request(
+                srv.url + "/api", data=b'{"action": "anything"}', headers={}
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(req, timeout=10)
+            assert exc_info.value.code == 500
+            body = json.loads(exc_info.value.read())
+            assert body["ok"] is False
+            assert "kaboom" in body["error"]
+            assert body["type"] == "RuntimeError"
+
+    def test_oversize_body_rejected_413(self):
+        with PlatformServer(max_body_bytes=1024) as srv:
+            req = urllib.request.Request(srv.url + "/api", data=b"x" * 4096, headers={})
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(req, timeout=10)
+            assert exc_info.value.code == 413
+            body = json.loads(exc_info.value.read())
+            assert body["ok"] is False and "limit" in body["error"]
