@@ -33,6 +33,9 @@ Subpackages
 ``repro.io``        from-scratch TIFF/PNG codecs and volume bundles.
 ``repro.resilience`` retry/deadline policies, checkpoint/resume, fault
                     injection, recovery-event counters.
+``repro.observability`` span tracing (JSON/Chrome-trace export), the
+                    metrics registry behind ``GET /metrics``, and run
+                    manifests (``run.json`` + ``repro metrics diff``).
 """
 
 from .core.pipeline import ZenesisConfig, ZenesisPipeline

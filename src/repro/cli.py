@@ -8,6 +8,7 @@ Commands mirror the platform's no-code surface for shell users:
 * ``synthesize`` — generate a synthetic FIB-SEM acquisition to disk
 * ``serve``      — run the HTTP platform server
 * ``readiness``  — score a file's AI-readiness
+* ``metrics``    — observability utilities (``metrics diff a/run.json b/run.json``)
 
 Each command prints a short human summary to stdout and writes artifacts
 next to the input (or to ``--out``).
@@ -38,6 +39,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true", help="disable the content-addressed inference cache")
     p.add_argument("--profile", action="store_true", help="print per-stage timings and cache counters")
     p.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write a Chrome-trace (chrome://tracing) span trace here; also "
+        "emits a run.json manifest alongside unless --manifest-out is given",
+    )
+    p.add_argument(
+        "--manifest-out",
+        type=Path,
+        default=None,
+        help="write the run manifest (config fingerprint, latency percentiles, metrics) here",
+    )
+    p.add_argument(
         "--checkpoint-dir",
         type=Path,
         default=None,
@@ -62,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slices", type=int, default=10, help="slices per volume")
     p.add_argument("--dashboard", type=Path, default=None, help="write HTML dashboard here")
     p.add_argument("--no-cache", action="store_true", help="disable the content-addressed inference cache")
+    p.add_argument("--trace-out", type=Path, default=None, help="write a Chrome-trace span trace here")
+    p.add_argument(
+        "--manifest-out", type=Path, default=None, help="write the run manifest (run.json) here"
+    )
+
+    p = sub.add_parser("metrics", help="observability utilities over run manifests")
+    msub = p.add_subparsers(dest="metrics_command", required=True)
+    mp = msub.add_parser("diff", help="compare two run.json manifests")
+    mp.add_argument("manifest_a", type=Path)
+    mp.add_argument("manifest_b", type=Path)
 
     p = sub.add_parser("synthesize", help="generate a synthetic FIB-SEM volume")
     p.add_argument("kind", choices=["crystalline", "amorphous"])
@@ -80,6 +104,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _wants_observability(args) -> bool:
+    return (
+        getattr(args, "trace_out", None) is not None
+        or getattr(args, "manifest_out", None) is not None
+    )
+
+
+def _start_observability(args, command: str) -> None:
+    """Begin a CLI-scoped trace when the run asked for observability output."""
+    if _wants_observability(args):
+        from .observability import start_trace
+
+        start_trace(f"repro.{command}")
+
+
+def _write_observability(args, command: str, *, config=None, profiler=None) -> None:
+    """Flush the CLI trace / manifest artifacts requested via flags.
+
+    ``--trace-out`` writes the Chrome-trace file and, unless overridden,
+    a ``run.json`` manifest next to it; ``--manifest-out`` writes (only)
+    the manifest.
+    """
+    if not _wants_observability(args):
+        return
+    from .observability import build_manifest, end_trace, write_manifest
+
+    tracer = end_trace()
+    trace_out = getattr(args, "trace_out", None)
+    manifest_out = getattr(args, "manifest_out", None)
+    if trace_out is not None:
+        if tracer is not None:
+            tracer.write_chrome_trace(trace_out)
+            print(f"trace -> {trace_out}")
+        if manifest_out is None:
+            manifest_out = trace_out.parent / "run.json"
+    if manifest_out is not None:
+        manifest = build_manifest(command, config=config, profiler=profiler, argv=sys.argv[1:])
+        write_manifest(manifest_out, manifest)
+        print(f"manifest -> {manifest_out}")
+
+
 def _cmd_segment(args) -> int:
     from .core.pipeline import ZenesisConfig, ZenesisPipeline
     from .io.formats import load_image_file
@@ -91,6 +156,7 @@ def _cmd_segment(args) -> int:
     if args.resume and args.checkpoint_dir is None:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    _start_observability(args, "segment")
     pipeline = ZenesisPipeline(ZenesisConfig(use_cache=not args.no_cache))
     out = args.out or args.path.with_suffix(".masks.npz")
     if arr.ndim == 3 and args.slice is None:
@@ -116,6 +182,7 @@ def _cmd_segment(args) -> int:
             save_figure(args.overlay, overlay_mask(seg_img, result.mask))
             print(f"overlay -> {args.overlay}")
     print(f"masks -> {out}")
+    _write_observability(args, "segment", config=pipeline.config, profiler=pipeline.profiler)
     if args.profile:
         print()
         print(pipeline.profiler.format_table())
@@ -156,12 +223,14 @@ def _cmd_evaluate(args) -> int:
         dataset=make_benchmark_dataset(shape=(args.size, args.size), n_slices=args.slices),
         zenesis_config=ZenesisConfig(use_cache=not args.no_cache),
     )
+    _start_observability(args, "evaluate")
     evaluator = Evaluator(build_methods(setup))
     evaluations = evaluator.evaluate(setup.dataset.slices, method_names=args.methods)
     for name, ev in evaluations.items():
         print()
         print(paper_table(ev))
     if args.dashboard is not None:
+        from .observability import stage_latency_rows
         from .resilience import events_snapshot
 
         args.dashboard.write_text(
@@ -169,10 +238,21 @@ def _cmd_evaluate(args) -> int:
                 evaluations,
                 cache_counters=evaluator.last_cache_counters,
                 resilience_counters=events_snapshot(),
+                latency_rows=stage_latency_rows(),
             )
         )
         print(f"\ndashboard -> {args.dashboard}")
+    _write_observability(args, "evaluate", config=setup.zenesis_config)
     return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .observability import diff_manifests, load_manifest
+
+    if args.metrics_command == "diff":
+        print(diff_manifests(load_manifest(args.manifest_a), load_manifest(args.manifest_b)))
+        return 0
+    return 2
 
 
 def _cmd_synthesize(args) -> int:
@@ -232,6 +312,7 @@ _COMMANDS = {
     "segment": _cmd_segment,
     "batch": _cmd_batch,
     "evaluate": _cmd_evaluate,
+    "metrics": _cmd_metrics,
     "synthesize": _cmd_synthesize,
     "serve": _cmd_serve,
     "readiness": _cmd_readiness,

@@ -16,6 +16,7 @@ import numpy as np
 from ..cache import subtract_counters
 from ..data.volume import ScientificVolume
 from ..errors import ParallelError
+from ..observability.trace import end_trace, export_spans, get_tracer, start_trace, trace
 from ..parallel.pool import default_worker_count, run_partitioned
 from ..parallel.scheduler import SlicePartition, block_partition
 from ..parallel.sharedmem import SharedArraySpec, SharedNDArray
@@ -64,6 +65,11 @@ def _process_block(
     pipeline = ZenesisPipeline(config.pipeline)
     vol = SharedNDArray.attach(vol_spec)
     out = SharedNDArray.attach(out_spec)
+    # Each execution records into its own tracer — pushed onto the tracer
+    # stack so a failover re-execution inside the *parent* process leaves
+    # the supervisor's trace untouched.  The spans come back in the report
+    # dict and are re-parented under the supervisor (Tracer.adopt).
+    start_trace(f"worker[{partition.worker}]")
     try:
         timer = Timer().start()
         cache_before = pipeline.cache.counters()
@@ -71,13 +77,15 @@ def _process_block(
         adapted: dict[int, np.ndarray] = {}
         detections = []
         fault_plan = get_fault_plan()
-        for z in z_order:
-            # worker_crash is child-only: the parent's inline re-execution of
-            # this partition after a crash does not re-fire it.
-            fault_plan.crash_if("worker_crash", child_only=True, slice=z)
-            det_img, seg_img = pipeline.adapt(vol.array[z])
-            adapted[z] = seg_img
-            detections.append(pipeline.ground(det_img, prompt, slice_index=z))
+        with trace("worker.prepare", worker=partition.worker):
+            for z in z_order:
+                # worker_crash is child-only: the parent's inline re-execution of
+                # this partition after a crash does not re-fire it.
+                fault_plan.crash_if("worker_crash", child_only=True, slice=z)
+                with trace("slice.prepare", slice=z):
+                    det_img, seg_img = pipeline.adapt(vol.array[z])
+                    adapted[z] = seg_img
+                    detections.append(pipeline.ground(det_img, prompt, slice_index=z))
         boxes = [d.boxes for d in detections]
         n_replaced = 0
         if config.temporal:
@@ -86,11 +94,13 @@ def _process_block(
             )
             n_replaced = report.n_replaced
         owned = set(partition.owned)
-        for i, z in enumerate(z_order):
-            if z not in owned:
-                continue  # halo slice: context only
-            mask, _, _ = pipeline.segment_with_boxes(adapted[z], detections[i], boxes[i])
-            out.array[z] = mask
+        with trace("worker.segment", worker=partition.worker):
+            for i, z in enumerate(z_order):
+                if z not in owned:
+                    continue  # halo slice: context only
+                with trace("slice.segment", slice=z):
+                    mask, _, _ = pipeline.segment_with_boxes(adapted[z], detections[i], boxes[i])
+                    out.array[z] = mask
         timer.stop()
         return {
             "worker": partition.worker,
@@ -99,8 +109,10 @@ def _process_block(
             "n_replaced": n_replaced,
             "wall_s": timer.elapsed,
             "cache": subtract_counters(pipeline.cache.counters(), cache_before),
+            "spans": export_spans(),
         }
     finally:
+        end_trace()
         vol.close()
         out.close()
 
@@ -124,20 +136,30 @@ def segment_volume_batch(
 
     timer = Timer().start()
     failovers_before = EVENTS.get("pool.failovers")
-    with SharedNDArray.from_array(voxels) as vol_shm, SharedNDArray.create(
-        voxels.shape, np.bool_
-    ) as out_shm:
-        worker_reports = run_partitioned(
-            _process_block,
-            partitions,
-            vol_shm.spec,
-            out_shm.spec,
-            cfg,
-            prompt,
-            timeout_s=cfg.timeout_s,
-            max_failovers=cfg.max_failovers,
-        )
-        masks = np.array(out_shm.array, dtype=bool, copy=True)
+    with trace("batch.segment_volume", prompt=prompt, n_slices=n, n_workers=len(partitions)):
+        with SharedNDArray.from_array(voxels) as vol_shm, SharedNDArray.create(
+            voxels.shape, np.bool_
+        ) as out_shm:
+            worker_reports = run_partitioned(
+                _process_block,
+                partitions,
+                vol_shm.spec,
+                out_shm.spec,
+                cfg,
+                prompt,
+                timeout_s=cfg.timeout_s,
+                max_failovers=cfg.max_failovers,
+            )
+            masks = np.array(out_shm.array, dtype=bool, copy=True)
+        # Re-parent worker span trees under the supervisor trace; the spans
+        # key is transport, not part of the public per-worker report.
+        tracer = get_tracer()
+        for report in worker_reports:
+            spans = report.pop("spans", None)
+            if tracer is not None and spans:
+                tracer.adopt(
+                    spans, tid=report["worker"] + 1, worker=report["worker"]
+                )
     timer.stop()
     report = BatchReport(
         n_slices=n,

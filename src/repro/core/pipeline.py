@@ -36,6 +36,8 @@ from ..models.dino import Detection, GroundingDino
 from ..models.registry import build_dino, build_sam
 from ..models.sam.analytic import AnalyticMaskHead, MaskHypothesis
 from ..models.sam.model import Sam, SamPredictor
+from ..observability.metrics import get_registry
+from ..observability.trace import trace
 from ..resilience.checkpoint import CheckpointManager
 from ..resilience.events import events_snapshot, record_event
 from ..resilience.faults import get_fault_plan
@@ -130,24 +132,27 @@ class ZenesisPipeline:
         if raw.ndim == 3:
             raw = raw.mean(axis=2)
         key = combine_keys(array_content_key(raw), self._adapt_fp)
-        cached = self.cache.get("pipeline.adapt", key)
-        if cached is not MISS:
-            return cached
-        with self.profiler.stage("adapt.normalize"):
-            base = robust_normalize(raw)
-        with self.profiler.stage("adapt.denoise"):
-            den = denoise_bilateral(
-                base, sigma_spatial=cfg.denoise_sigma_spatial, sigma_range=cfg.denoise_sigma_range
-            )
-        if cfg.flatfield:
-            with self.profiler.stage("adapt.flatfield"):
-                den = flatfield_correct(den, sigma=cfg.flatfield_sigma)
-        with self.profiler.stage("adapt.detector_branch"):
-            det_img = clahe(den, tiles=cfg.clahe_tiles, clip_limit=cfg.clahe_clip)
-        with self.profiler.stage("adapt.segmenter_branch"):
-            seg_img = unsharp_mask(den, amount=cfg.unsharp_amount, sigma=cfg.unsharp_sigma)
-        self.cache.put("pipeline.adapt", key, (det_img, seg_img))
-        return det_img, seg_img
+        with trace("pipeline.adapt") as span:
+            cached = self.cache.get("pipeline.adapt", key)
+            if cached is not MISS:
+                span.set(cache="hit")
+                return cached
+            span.set(cache="miss")
+            with self.profiler.stage("adapt.normalize"):
+                base = robust_normalize(raw)
+            with self.profiler.stage("adapt.denoise"):
+                den = denoise_bilateral(
+                    base, sigma_spatial=cfg.denoise_sigma_spatial, sigma_range=cfg.denoise_sigma_range
+                )
+            if cfg.flatfield:
+                with self.profiler.stage("adapt.flatfield"):
+                    den = flatfield_correct(den, sigma=cfg.flatfield_sigma)
+            with self.profiler.stage("adapt.detector_branch"):
+                det_img = clahe(den, tiles=cfg.clahe_tiles, clip_limit=cfg.clahe_clip)
+            with self.profiler.stage("adapt.segmenter_branch"):
+                seg_img = unsharp_mask(den, amount=cfg.unsharp_amount, sigma=cfg.unsharp_sigma)
+            self.cache.put("pipeline.adapt", key, (det_img, seg_img))
+            return det_img, seg_img
 
     # -- grounding -------------------------------------------------------------
 
@@ -196,32 +201,39 @@ class ZenesisPipeline:
         detection untouched — an empty slice is a valid answer there.
         """
         cfg = self.config
-        det = self._ground_once(detector_img, prompt, 0, slice_index)
-        if det.n_boxes > 0 or not cfg.strict_grounding:
-            return det
-        if cfg.grounding_retries > 0:
-            policy = RetryPolicy(
-                max_attempts=cfg.grounding_retries,
-                base_delay_s=0.0,
-                jitter=0.0,
-                retry_on=(GroundingError,),
-                seed=cfg.seed,
-            )
+        span = trace("pipeline.ground", **({} if slice_index is None else {"slice": slice_index}))
+        with span as sp:
+            det = self._ground_once(detector_img, prompt, 0, slice_index)
+            if det.n_boxes > 0 or not cfg.strict_grounding:
+                sp.set(n_boxes=int(det.n_boxes), retries=0)
+                return det
+            if cfg.grounding_retries > 0:
+                policy = RetryPolicy(
+                    max_attempts=cfg.grounding_retries,
+                    base_delay_s=0.0,
+                    jitter=0.0,
+                    retry_on=(GroundingError,),
+                    seed=cfg.seed,
+                )
+                retries = 0
 
-            def attempt(i: int) -> Detection:
-                record_event("grounding.retries")
-                relaxed = self._ground_once(detector_img, prompt, i + 1, slice_index)
-                if relaxed.n_boxes == 0:
-                    raise GroundingError(f"relaxed grounding (level {i + 1}) still empty")
-                return relaxed
+                def attempt(i: int) -> Detection:
+                    nonlocal retries
+                    retries += 1
+                    record_event("grounding.retries")
+                    relaxed = self._ground_once(detector_img, prompt, i + 1, slice_index)
+                    if relaxed.n_boxes == 0:
+                        raise GroundingError(f"relaxed grounding (level {i + 1}) still empty")
+                    return relaxed
 
-            try:
-                recovered = policy.call(attempt, key=f"grounding:{prompt}")
-            except RetryExhaustedError:
-                pass
-            else:
-                record_event("grounding.recovered")
-                return recovered
+                try:
+                    recovered = policy.call(attempt, key=f"grounding:{prompt}")
+                except RetryExhaustedError:
+                    sp.set(retries=retries)
+                else:
+                    record_event("grounding.recovered")
+                    sp.set(n_boxes=int(recovered.n_boxes), retries=retries, recovered=True)
+                    return recovered
         raise GroundingError(
             f"prompt {prompt!r} grounded no regions after "
             f"{1 + max(cfg.grounding_retries, 0)} attempt(s) "
@@ -326,20 +338,22 @@ class ZenesisPipeline:
         positive point contributes its best SAM mask to the union).
         """
         text = prompt.text if isinstance(prompt, TextPrompt) else str(prompt)
-        det_img, seg_img = self.adapt(image)
-        detection = self.ground(det_img, text)
-        boxes = detection.boxes
-        if hints is not None and hints.boxes:
-            user_boxes = np.stack(hints.validated_boxes(seg_img.shape))
-            boxes = np.concatenate([boxes, user_boxes], axis=0) if len(boxes) else user_boxes
-        mask, per_box, kinds = self.segment_with_boxes(seg_img, detection, boxes)
-        if hints is not None and hints.has_points:
-            coords, labels = hints.point_arrays()
-            with self.profiler.stage("sam.point_prompts"):
-                masks, _, _ = self.predictor.predict(
-                    point_coords=coords, point_labels=labels, multimask_output=False
-                )
-            mask = mask | masks[0]
+        with trace("pipeline.segment_image", prompt=text):
+            det_img, seg_img = self.adapt(image)
+            detection = self.ground(det_img, text)
+            boxes = detection.boxes
+            if hints is not None and hints.boxes:
+                user_boxes = np.stack(hints.validated_boxes(seg_img.shape))
+                boxes = np.concatenate([boxes, user_boxes], axis=0) if len(boxes) else user_boxes
+            mask, per_box, kinds = self.segment_with_boxes(seg_img, detection, boxes)
+            if hints is not None and hints.has_points:
+                coords, labels = hints.point_arrays()
+                with self.profiler.stage("sam.point_prompts"):
+                    masks, _, _ = self.predictor.predict(
+                        point_coords=coords, point_labels=labels, multimask_output=False
+                    )
+                mask = mask | masks[0]
+        get_registry().counter("repro_pipeline_images_total").inc()
         self.profiler.set_counters(self.cache.counters())
         self.profiler.set_counters(events_snapshot())
         return SliceResult(
@@ -400,10 +414,12 @@ class ZenesisPipeline:
         # det_img here halves the peak memory of the adapted-slice store.
         seg_imgs: list[np.ndarray] = []
         detections: list[Detection] = []
-        for z in range(n):
-            det_img, seg_img = self.adapt(voxels[z])
-            detections.append(self.ground(det_img, text, slice_index=z))
-            seg_imgs.append(seg_img)
+        with trace("volume.prepare", prompt=text, n_slices=n):
+            for z in range(n):
+                with trace("slice.prepare", slice=z):
+                    det_img, seg_img = self.adapt(voxels[z])
+                    detections.append(self.ground(det_img, text, slice_index=z))
+                    seg_imgs.append(seg_img)
 
         report = RefinementReport(n_slices=n)
         per_slice_boxes = [d.boxes for d in detections]
@@ -415,41 +431,49 @@ class ZenesisPipeline:
 
         slice_results: list[SliceResult] = []
         masks = np.zeros(voxels.shape, dtype=bool)
-        for z in range(n):
-            if plan.active:
-                plan.crash_if("volume_crash", slice=z)
-                if plan.should_fire("volume_abort", slice=z):
-                    raise PipelineError(f"injected volume_abort fault at slice {z}")
-            if ckpt is not None and z in done:
-                mask = np.asarray(ckpt.load_slice(z), dtype=bool)
-                masks[z] = mask
-                slice_results.append(
-                    SliceResult(
-                        mask=mask,
-                        detection=detections[z],
-                        per_box_masks=(),
-                        per_box_kinds=(),
-                        prompt=text,
-                        profiler=self.profiler,
-                        metadata={"slice": z, "resumed": True},
+        registry = get_registry()
+        with trace("volume.segment", prompt=text, n_slices=n):
+            for z in range(n):
+                if plan.active:
+                    plan.crash_if("volume_crash", slice=z)
+                    if plan.should_fire("volume_abort", slice=z):
+                        raise PipelineError(f"injected volume_abort fault at slice {z}")
+                with trace("slice.segment", slice=z) as span:
+                    if ckpt is not None and z in done:
+                        span.set(resumed=True)
+                        registry.counter("repro_pipeline_resumed_slices_total").inc()
+                        mask = np.asarray(ckpt.load_slice(z), dtype=bool)
+                        masks[z] = mask
+                        slice_results.append(
+                            SliceResult(
+                                mask=mask,
+                                detection=detections[z],
+                                per_box_masks=(),
+                                per_box_kinds=(),
+                                prompt=text,
+                                profiler=self.profiler,
+                                metadata={"slice": z, "resumed": True},
+                            )
+                        )
+                        continue
+                    mask, per_box, kinds = self.segment_with_boxes(
+                        seg_imgs[z], detections[z], per_slice_boxes[z]
                     )
-                )
-                continue
-            mask, per_box, kinds = self.segment_with_boxes(seg_imgs[z], detections[z], per_slice_boxes[z])
-            masks[z] = mask
-            if ckpt is not None:
-                ckpt.save_slice(z, mask)
-            slice_results.append(
-                SliceResult(
-                    mask=mask,
-                    detection=detections[z],
-                    per_box_masks=tuple(per_box),
-                    per_box_kinds=tuple(kinds),
-                    prompt=text,
-                    profiler=self.profiler,
-                    metadata={"slice": z},
-                )
-            )
+                    masks[z] = mask
+                    registry.counter("repro_pipeline_slices_total").inc()
+                    if ckpt is not None:
+                        ckpt.save_slice(z, mask)
+                    slice_results.append(
+                        SliceResult(
+                            mask=mask,
+                            detection=detections[z],
+                            per_box_masks=tuple(per_box),
+                            per_box_kinds=tuple(kinds),
+                            prompt=text,
+                            profiler=self.profiler,
+                            metadata={"slice": z},
+                        )
+                    )
         if ckpt is not None:
             ckpt.finalize()
         self.profiler.set_counters(self.cache.counters())

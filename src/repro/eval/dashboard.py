@@ -84,6 +84,32 @@ def _cache_section(cache_counters: Mapping[str, int]) -> list[str]:
     return parts
 
 
+def _latency_section(rows: list) -> list[str]:
+    """Latency-percentile card: per-stage p50/p95/p99 wall time."""
+    parts = ["<h2>Stage latency percentiles</h2>"]
+    if not rows:
+        parts.append("<p class='small'>no stage latencies recorded this run</p>")
+        return parts
+    worst = rows[0]
+    parts.append('<div class="cards">')
+    parts.append(
+        f"<div class='card'><span class='small'>slowest stage (p95)</span>"
+        f"<div class='value'>{worst['p95_s']:.3f}s</div>"
+        f"<span class='small'>{html.escape(str(worst['stage']))}</span></div>"
+    )
+    parts.append("</div>")
+    parts.append(
+        "<table><tr><th>stage</th><th>calls</th><th>p50[s]</th><th>p95[s]</th><th>p99[s]</th></tr>"
+    )
+    for r in rows:
+        parts.append(
+            f"<tr><td class='name'>{html.escape(str(r['stage']))}</td><td>{r['count']}</td>"
+            f"<td>{r['p50_s']:.4f}</td><td>{r['p95_s']:.4f}</td><td>{r['p99_s']:.4f}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
 def _resilience_section(counters: Mapping[str, int]) -> list[str]:
     """Resilience card: recovery-event counts (retries, failovers, resumes)."""
 
@@ -123,6 +149,7 @@ def render_dashboard(
     title: str = "Zenesis Evaluation Dashboard",
     cache_counters: Mapping[str, int] | None = None,
     resilience_counters: Mapping[str, int] | None = None,
+    latency_rows: list | None = None,
 ) -> str:
     """Render all evaluated methods into one HTML document.
 
@@ -131,7 +158,10 @@ def render_dashboard(
     hit rate and per-tier occupancy for the run.  ``resilience_counters``
     (``repro.resilience.events_snapshot()``) adds a resilience card so
     retries, failovers, quarantines, and checkpoint resumes are visible —
-    recoveries should never be silent.
+    recoveries should never be silent.  ``latency_rows``
+    (``repro.observability.stage_latency_rows()``) adds the Fig. 8
+    latency-percentile card: per-stage p50/p95/p99 from the live
+    ``repro_stage_seconds`` histograms.
     """
     parts = [
         "<!DOCTYPE html><html><head><meta charset='utf-8'>",
@@ -141,6 +171,8 @@ def render_dashboard(
     ]
     for name, ev in evaluations.items():
         parts.extend(_method_section(name, ev))
+    if latency_rows is not None:
+        parts.extend(_latency_section(latency_rows))
     if cache_counters is not None:
         parts.extend(_cache_section(cache_counters))
     if resilience_counters is not None:

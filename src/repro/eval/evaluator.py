@@ -21,6 +21,8 @@ from ..metrics.aggregate import MetricSummary, summarize_records
 from ..metrics.boundary import boundary_f1
 from ..metrics.confusion import confusion_counts
 from ..metrics.overlap import dice, iou
+from ..observability.metrics import get_registry
+from ..observability.trace import trace
 from ..utils.timing import Timer
 
 __all__ = ["SampleEvaluation", "MethodEvaluation", "Evaluator", "PAPER_METRICS", "evaluate_mask"]
@@ -123,11 +125,13 @@ class Evaluator:
             raise EvaluationError("no slices to evaluate")
         out: dict[str, MethodEvaluation] = {name: MethodEvaluation(method=name) for name in names}
         cache_before = get_cache().counters()
+        registry = get_registry()
         for sl in slices:
             raw = sl.image.pixels
             for name in names:
-                with Timer() as t:
+                with trace("eval.method", method=name, sample=sl.name), Timer() as t:
                     pred = self.methods[name](raw)
+                registry.histogram("repro_eval_method_seconds", method=name).observe(t.elapsed)
                 pred = np.asarray(pred, dtype=bool)
                 if pred.shape != sl.gt_mask.shape:
                     raise EvaluationError(

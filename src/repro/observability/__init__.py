@@ -1,0 +1,72 @@
+"""Unified observability: span tracing, metrics registry, run manifests.
+
+The three legacy instrumentation systems (``StageProfiler`` wall-clock
+tables, cache counters, resilience event counters) keep working but now
+feed one place:
+
+* :mod:`~repro.observability.trace` — hierarchical span traces with
+  JSON and Chrome-trace export, serializable across the worker pool.
+* :mod:`~repro.observability.metrics` — counters / gauges / fixed-bucket
+  histograms, JSON snapshots, and Prometheus text for ``GET /metrics``.
+* :mod:`~repro.observability.adapters` — folds the legacy counter shapes
+  into the registry.
+* :mod:`~repro.observability.manifest` — ``run.json`` documents plus
+  ``repro metrics diff`` between two runs.
+"""
+
+from .adapters import (
+    absorb_cache_counters,
+    absorb_profiler,
+    absorb_resilience_events,
+    collect_default_metrics,
+    stage_latency_rows,
+)
+from .manifest import build_manifest, diff_manifests, load_manifest, write_manifest
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from .trace import (
+    Span,
+    Tracer,
+    end_trace,
+    export_spans,
+    get_tracer,
+    reset_tracing,
+    span_topology,
+    start_trace,
+    trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "absorb_cache_counters",
+    "absorb_profiler",
+    "absorb_resilience_events",
+    "build_manifest",
+    "collect_default_metrics",
+    "diff_manifests",
+    "end_trace",
+    "export_spans",
+    "get_registry",
+    "get_tracer",
+    "load_manifest",
+    "reset_registry",
+    "reset_tracing",
+    "span_topology",
+    "stage_latency_rows",
+    "start_trace",
+    "trace",
+    "write_manifest",
+]

@@ -1,0 +1,121 @@
+"""Adapters folding the legacy counter systems into the metrics registry.
+
+Three instrumentation systems predate :mod:`repro.observability` and are
+kept working (tests, ``--profile`` tables, the dashboard all read them),
+but they are *deprecated as primary interfaces*: the registry is now the
+one place metrics live, and these adapters absorb each legacy shape:
+
+* :class:`~repro.utils.timing.StageProfiler` → ``repro_stage_*`` series
+  (live per-call latency histograms are fed directly by the profiler hook;
+  the adapter contributes the cumulative call/seconds counters).
+* ``InferenceCache.counters()`` (``cache.<tier>.<metric>`` /
+  ``cache.ns.<ns>.<metric>`` flat dicts) → ``repro_cache_*`` with ``tier``
+  / ``namespace`` labels.
+* ``repro.resilience.events_snapshot()`` (``resilience.<name>`` dicts) →
+  ``repro_resilience_<name>_total`` counters.
+
+All absorbs are *snapshot-monotone* (:meth:`Counter.set_to`): absorbing
+the same source twice, or interleaved with further increments, never loses
+or double-counts an increment.
+
+Repro-internal imports happen lazily inside functions so this module (and
+the package ``__init__``) stays cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "absorb_profiler",
+    "absorb_cache_counters",
+    "absorb_resilience_events",
+    "collect_default_metrics",
+    "stage_latency_rows",
+]
+
+#: Gauge-like cache metrics (absolute occupancy, not monotone counts).
+_CACHE_GAUGES = ("bytes", "entries", "byte_budget")
+
+
+def absorb_profiler(profiler, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Fold a StageProfiler's cumulative stage summaries into the registry."""
+    reg = registry or get_registry()
+    for name, rec in profiler.records.items():
+        reg.counter("repro_stage_calls_total", stage=name).set_to(rec.calls)
+        reg.counter("repro_stage_seconds_total", stage=name).set_to(rec.total_s)
+    return reg
+
+
+def absorb_cache_counters(
+    counters: Mapping[str, float], registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Fold a flat ``InferenceCache.counters()`` mapping into the registry."""
+    reg = registry or get_registry()
+    for key, value in counters.items():
+        parts = key.split(".")
+        if key.startswith("cache.ns.") and len(parts) >= 4:
+            # namespaces may themselves contain dots (e.g. "sam.image")
+            namespace, metric = key.removeprefix("cache.ns.").rsplit(".", 1)
+            reg.counter(f"repro_cache_ns_{metric}_total", namespace=namespace).set_to(value)
+        elif len(parts) == 3 and parts[0] == "cache":
+            _, tier, metric = parts
+            if metric in _CACHE_GAUGES:
+                reg.gauge(f"repro_cache_{metric}", tier=tier).set(value)
+            else:
+                reg.counter(f"repro_cache_{metric}_total", tier=tier).set_to(value)
+    return reg
+
+
+def absorb_resilience_events(
+    snapshot: Mapping[str, int], registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Fold a ``resilience.<name>`` event snapshot into the registry."""
+    reg = registry or get_registry()
+    for key, value in snapshot.items():
+        name = key.removeprefix("resilience.").replace(".", "_")
+        reg.counter(f"repro_resilience_{name}_total").set_to(value)
+    return reg
+
+
+def collect_default_metrics(
+    registry: MetricsRegistry | None = None, profiler=None
+) -> MetricsRegistry:
+    """Absorb every live legacy source: global cache, resilience events,
+    and (optionally) a profiler.  Called before rendering ``GET /metrics``
+    and before building a run manifest, so snapshots are never stale."""
+    from ..cache import get_cache
+    from ..resilience.events import events_snapshot
+
+    reg = registry or get_registry()
+    absorb_cache_counters(get_cache().counters(), reg)
+    absorb_resilience_events(events_snapshot(), reg)
+    if profiler is not None:
+        absorb_profiler(profiler, reg)
+    return reg
+
+
+def stage_latency_rows(registry: MetricsRegistry | None = None) -> list[dict]:
+    """Per-stage latency percentiles from the live ``repro_stage_seconds``
+    histograms (dashboard latency card, run manifests)."""
+    from .metrics import Histogram
+
+    reg = registry or get_registry()
+    rows: list[dict] = []
+    for metric in reg.metrics():
+        if not isinstance(metric, Histogram) or metric.name != "repro_stage_seconds":
+            continue
+        labels = dict(metric.labels)
+        rows.append(
+            {
+                "stage": labels.get("stage", "?"),
+                "count": metric.count,
+                "p50_s": metric.percentile(0.50),
+                "p95_s": metric.percentile(0.95),
+                "p99_s": metric.percentile(0.99),
+            }
+        )
+    rows.sort(key=lambda r: -r["p95_s"])
+    return rows

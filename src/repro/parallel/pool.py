@@ -28,6 +28,8 @@ from queue import Empty
 from typing import Any, Callable, Sequence
 
 from ..errors import ParallelError
+from ..observability.metrics import get_registry
+from ..observability.trace import trace
 from ..resilience.events import record_event
 from ..resilience.faults import get_fault_plan
 from ..resilience.policy import Deadline
@@ -155,20 +157,24 @@ def run_partitioned(
                 continue  # do not re-run a hang inline
             original = failures[worker]
             for _ in range(max_failovers):
-                try:
-                    results[worker] = fn(by_worker[worker], *args)
-                except Exception:
-                    record_event("pool.failover_failures")
-                    failures[worker] = (
-                        f"{original}\nfailover re-execution also failed:\n"
-                        f"{traceback.format_exc()}"
-                    )
-                else:
-                    record_event("pool.failovers")
-                    del failures[worker]
-                    break
+                with trace("pool.failover", worker=worker) as span:
+                    try:
+                        results[worker] = fn(by_worker[worker], *args)
+                    except Exception:
+                        record_event("pool.failover_failures")
+                        span.set(recovered=False)
+                        failures[worker] = (
+                            f"{original}\nfailover re-execution also failed:\n"
+                            f"{traceback.format_exc()}"
+                        )
+                    else:
+                        record_event("pool.failovers")
+                        span.set(recovered=True)
+                        del failures[worker]
+                        break
 
     if failures:
         detail = "\n".join(f"worker {w}: {msg}" for w, msg in sorted(failures.items()))
         raise ParallelError(f"worker failure(s):\n{detail}")
+    get_registry().counter("repro_pool_partitions_total").inc(len(partitions))
     return [results[part.worker] for part in partitions]

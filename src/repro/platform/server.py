@@ -20,8 +20,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..observability.adapters import collect_default_metrics
+from ..observability.metrics import get_registry
+from ..observability.trace import Tracer
 from ..resilience.events import record_event
 from .api import ApiHandler
 
@@ -37,7 +41,7 @@ _LANDING = b"""<!DOCTYPE html><html><head><title>Zenesis (repro)</title></head>
 </body></html>"""
 
 
-def _make_handler(api: ApiHandler, state: dict, max_body_bytes: int):
+def _make_handler(api: ApiHandler, state: dict, max_body_bytes: int, tracer: Tracer):
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, fmt, *args):  # quiet by default
             pass
@@ -60,6 +64,15 @@ def _make_handler(api: ApiHandler, state: dict, max_body_bytes: int):
                     self._send(200, b'{"ready": true}', "application/json")
                 else:
                     self._send(503, b'{"ready": false}', "application/json")
+            elif self.path == "/metrics":
+                # Prometheus text exposition: absorb the live legacy counter
+                # sources first so a scrape is never stale.
+                collect_default_metrics()
+                self._send(
+                    200,
+                    get_registry().render_prometheus().encode(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif self.path == "/":
                 self._send(200, _LANDING, "text/html")
             else:
@@ -90,14 +103,30 @@ def _make_handler(api: ApiHandler, state: dict, max_body_bytes: int):
             except (ValueError, json.JSONDecodeError) as exc:
                 self._send_json(400, {"ok": False, "error": f"bad JSON: {exc}"})
                 return
+            # One span per request under the server's own trace (the stack
+            # is thread-local, so concurrent requests nest correctly), plus
+            # a request-latency histogram for GET /metrics.
+            action = str(request.get("action"))
+            registry = get_registry()
+            span = tracer.begin("server.request", action=action)
+            t0 = time.perf_counter()
             try:
                 response = api.handle(request)
             except Exception as exc:  # escaped handler exception: a 500, not a 200
                 record_event("server.handler_errors")
+                registry.counter("repro_server_requests_total", action=action, status="500").inc()
+                tracer.finish(span, error=exc)
                 self._send_json(
                     500, {"ok": False, "error": str(exc), "type": type(exc).__name__}
                 )
                 return
+            registry.histogram("repro_server_request_seconds", action=action).observe(
+                time.perf_counter() - t0
+            )
+            status = "200" if response.get("ok", True) else "error"
+            registry.counter("repro_server_requests_total", action=action, status=status).inc()
+            span.set(status=status)
+            tracer.finish(span)
             self._send_json(200, response)
 
     return Handler
@@ -116,8 +145,10 @@ class PlatformServer:
     ) -> None:
         self.api = api or ApiHandler()
         self._state: dict = {"ready": False}
+        #: The server's own trace: one ``server.request`` span per POST.
+        self.tracer = Tracer("server")
         self.httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(self.api, self._state, max_body_bytes)
+            (host, port), _make_handler(self.api, self._state, max_body_bytes, self.tracer)
         )
         self._thread: threading.Thread | None = None
 

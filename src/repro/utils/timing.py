@@ -13,6 +13,9 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..observability.metrics import get_registry
+from ..observability.trace import get_tracer
+
 __all__ = ["Timer", "StageProfiler", "StageRecord"]
 
 
@@ -21,28 +24,40 @@ class Timer:
 
     Usable either as a context manager or via explicit ``start``/``stop``.
     ``elapsed`` reports the latest completed interval in seconds.
+
+    Re-entrant safe: ``start``/``with`` calls nest (a stack of start
+    times), so the historical ``stop()``-without-``start()`` asymmetry —
+    ``with`` blocks blowing up when the body already called ``stop()``, or
+    nested use corrupting the outer interval — is gone.  ``stop()`` on a
+    never-started timer still raises, as that is always a caller bug.
     """
 
     def __init__(self) -> None:
-        self._start: float | None = None
+        self._starts: list[float] = []
         self.elapsed: float = 0.0
 
+    @property
+    def running(self) -> bool:
+        return bool(self._starts)
+
     def start(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def stop(self) -> float:
-        if self._start is None:
+        if not self._starts:
             raise RuntimeError("Timer.stop() called before start()")
-        self.elapsed = time.perf_counter() - self._start
-        self._start = None
+        self.elapsed = time.perf_counter() - self._starts.pop()
         return self.elapsed
 
     def __enter__(self) -> "Timer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
-        self.stop()
+        # Tolerate a body that already stopped its own interval; exceptions
+        # still record the partial interval instead of raising a second time.
+        if self._starts:
+            self.stop()
 
 
 @dataclass
@@ -80,13 +95,24 @@ class StageProfiler:
 
     @contextmanager
     def stage(self, name: str):
-        """Context manager timing one execution of ``name``."""
+        """Context manager timing one execution of ``name``.
+
+        Each call also feeds the unified observability layer: the duration
+        is observed into the global ``repro_stage_seconds`` histogram
+        (latency percentiles for manifests and the dashboard), and when a
+        tracer is active the stage becomes a span in the trace tree.
+        """
+        tracer = get_tracer()
+        span = tracer.begin(name) if tracer is not None else None
         t0 = time.perf_counter()
         try:
             yield
         finally:
             dt = time.perf_counter() - t0
             self.records.setdefault(name, StageRecord(name)).add(dt)
+            get_registry().histogram("repro_stage_seconds", stage=name).observe(dt)
+            if tracer is not None:
+                tracer.finish(span)
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""

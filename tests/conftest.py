@@ -15,7 +15,23 @@ from repro.cache import reset_cache
 from repro.core.pipeline import ZenesisPipeline
 from repro.data import make_benchmark_dataset, make_sample
 from repro.data.synthesis.phantoms import disk_phantom, needles_phantom, two_phase_phantom
+from repro.observability import reset_registry, reset_tracing
 from repro.resilience import reset_events
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite checked-in golden files (e.g. the golden trace topology) "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
 
 
 @pytest.fixture(autouse=True)
@@ -25,10 +41,13 @@ def _fresh_inference_cache():
     Session-scoped pipelines keep the cache instance they were built with,
     so they still benefit from within-instance reuse; only the *global*
     handle is renewed, preventing cross-test hit/miss leakage.  The global
-    resilience-event counters are cleared for the same reason.
+    resilience-event counters, metrics registry, and tracer stack are
+    cleared for the same reason.
     """
     reset_cache()
     reset_events()
+    reset_registry()
+    reset_tracing()
     yield
 
 

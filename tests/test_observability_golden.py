@@ -1,0 +1,71 @@
+"""Golden-trace regression tests.
+
+The span-tree *topology* (names, nesting, whitelisted attributes — never
+timings) of a deterministic pipeline run is pinned against a checked-in
+golden file.  A refactor that adds, drops, or re-nests spans fails here
+until the golden is refreshed with ``pytest --update-golden``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import ZenesisConfig, ZenesisPipeline
+from repro.data import make_sample
+from repro.observability import end_trace, span_topology, start_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN = GOLDEN_DIR / "trace_topology.json"
+PROMPT = "catalyst particles"
+
+
+def _capture_topology() -> dict:
+    """Trace a small deterministic volume run and reduce it to topology.
+
+    Caching is disabled: cache hits skip work (and therefore spans), so the
+    topology would depend on cache state rather than on the code.
+    """
+    vol = make_sample("crystalline", shape=(64, 64), n_slices=2).volume.voxels
+    pipeline = ZenesisPipeline(ZenesisConfig(use_cache=False))
+    start_trace("golden")
+    try:
+        pipeline.segment_volume(vol, PROMPT)
+    finally:
+        tracer = end_trace()
+    return span_topology(tracer.as_dict())
+
+
+class TestGoldenTrace:
+    def test_topology_matches_golden(self, update_golden):
+        topology = _capture_topology()
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            GOLDEN.write_text(json.dumps(topology, indent=1, sort_keys=True) + "\n")
+            pytest.skip(f"golden refreshed -> {GOLDEN}")
+        assert GOLDEN.exists(), "golden file missing; generate it with: pytest --update-golden"
+        golden = json.loads(GOLDEN.read_text())
+        assert topology == golden, (
+            "span topology drifted from the golden trace; if the change is "
+            "intentional refresh it with: pytest --update-golden"
+        )
+
+    def test_topology_is_deterministic_across_runs(self):
+        assert _capture_topology() == _capture_topology()
+
+    def test_golden_covers_expected_structure(self):
+        """Sanity on the checked-in file itself (guards hand-edits)."""
+        golden = json.loads(GOLDEN.read_text())
+        assert golden["name"] == "golden"
+        names = []
+
+        def walk(node):
+            names.append(node["name"])
+            for child in node.get("children", ()):
+                walk(child)
+
+        walk(golden)
+        assert "volume.prepare" in names
+        assert "volume.segment" in names
+        assert names.count("slice.prepare") == 2
+        assert names.count("slice.segment") == 2

@@ -1,0 +1,140 @@
+"""Worker-span re-parenting: spans recorded inside forked pool workers must
+surface under the supervisor's trace with slice attribution — including when
+a worker crashes and its partition is recovered by inline failover."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.batch import BatchConfig, segment_volume_batch
+from repro.observability import end_trace, span_topology, start_trace
+
+PROMPT = "catalyst particles"
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+def _walk(node, out=None):
+    """Flatten a topology/span tree to [(name, attrs), ...]."""
+    out = out if out is not None else []
+    out.append((node["name"], dict(node.get("attrs", {}))))
+    for child in node.get("children", ()):
+        _walk(child, out)
+    return out
+
+
+def _slice_attrs(flat, name):
+    return sorted(attrs["slice"] for n, attrs in flat if n == name and "slice" in attrs)
+
+
+class TestWorkerSpanAdoption:
+    def test_worker_spans_reparented_under_supervisor(self, amorphous_sample):
+        vol = amorphous_sample.volume.voxels  # (4, 128, 128)
+        start_trace("supervisor")
+        try:
+            segment_volume_batch(vol, PROMPT, BatchConfig(n_workers=2, halo=1))
+        finally:
+            tracer = end_trace()
+        tree = tracer.as_dict()
+
+        (batch,) = tree["children"]
+        assert batch["name"] == "batch.segment_volume"
+        # Worker subtrees were adopted under the batch span, tagged with
+        # their worker id and carried over with their slice attribution.
+        adopted = [c for c in batch["children"] if "worker" in c["attrs"]]
+        assert {c["attrs"]["worker"] for c in adopted} == {0, 1}
+        assert {c["name"] for c in adopted} == {"worker.prepare", "worker.segment"}
+        flat = _walk(batch)
+        assert _slice_attrs(flat, "slice.segment") == [0, 1, 2, 3]
+        # Adopted spans land on distinct chrome-trace lanes per worker.
+        tids = {e["tid"] for e in tracer.to_chrome_trace()["traceEvents"]}
+        assert {1, 2} <= tids
+
+    def test_no_tracer_means_no_span_transport(self, amorphous_sample):
+        vol = amorphous_sample.volume.voxels
+        _, report = segment_volume_batch(vol, PROMPT, BatchConfig(n_workers=2, halo=1))
+        for worker_report in report.per_worker:
+            assert "spans" not in worker_report  # transport key is consumed
+
+    def test_failover_spans_adopted_with_slice_attribution(self, monkeypatch, amorphous_sample):
+        vol = amorphous_sample.volume.voxels
+        monkeypatch.setenv("REPRO_FAULTS", "worker_crash@slice=2")
+        start_trace("supervisor")
+        try:
+            _, report = segment_volume_batch(vol, PROMPT, BatchConfig(n_workers=2, halo=1))
+        finally:
+            tracer = end_trace()
+        assert report.n_failovers >= 1
+
+        (batch,) = tracer.as_dict()["children"]
+        failovers = [c for c in batch["children"] if c["name"] == "pool.failover"]
+        assert failovers and all(f["attrs"]["recovered"] for f in failovers)
+        # The recovered partition was re-executed inline in the parent; its
+        # spans still arrive via the same report transport, so every slice
+        # keeps its attribution even though a worker died.
+        flat = _walk(batch)
+        assert _slice_attrs(flat, "slice.segment") == [0, 1, 2, 3]
+
+    def test_failover_reexecution_leaves_supervisor_stack_clean(
+        self, monkeypatch, amorphous_sample
+    ):
+        """The inline re-execution pushes/pops its own tracer; the
+        supervisor's must be the active one again afterwards."""
+        from repro.observability import get_tracer
+
+        vol = amorphous_sample.volume.voxels
+        monkeypatch.setenv("REPRO_FAULTS", "worker_crash@slice=2")
+        supervisor = start_trace("supervisor")
+        try:
+            segment_volume_batch(vol, PROMPT, BatchConfig(n_workers=2, halo=1))
+            assert get_tracer() is supervisor
+        finally:
+            end_trace()
+
+
+class TestWorkerSpansSubprocess:
+    def test_crashed_run_in_fresh_interpreter_keeps_full_attribution(self, tmp_path):
+        """End-to-end in a fresh interpreter (mirrors the resilience
+        kill/resume pattern): env-injected worker crash, failover, and the
+        final topology written to disk for the parent to assert on."""
+        src = Path(repro.__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        env["REPRO_FAULTS"] = "worker_crash@slice=2"
+        script = (
+            "import json, sys\n"
+            "from repro.core.batch import BatchConfig, segment_volume_batch\n"
+            "from repro.data import make_sample\n"
+            "from repro.observability import end_trace, span_topology, start_trace\n"
+            "vol = make_sample('amorphous', shape=(96, 96), n_slices=4).volume.voxels\n"
+            "start_trace('supervisor')\n"
+            f"_, report = segment_volume_batch(vol, {PROMPT!r}, "
+            "BatchConfig(n_workers=2, halo=1))\n"
+            "doc = {'topology': span_topology(end_trace().as_dict()), "
+            "'n_failovers': report.n_failovers}\n"
+            "json.dump(doc, open(sys.argv[1], 'w'))\n"
+        )
+        out = tmp_path / "trace.json"
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(out)],
+            env=env,
+            capture_output=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        doc = json.loads(out.read_text())
+        assert doc["n_failovers"] >= 1
+        flat = _walk(doc["topology"])
+        names = [n for n, _ in flat]
+        assert "pool.failover" in names
+        assert _slice_attrs(flat, "slice.segment") == [0, 1, 2, 3]
+        workers = {attrs["worker"] for n, attrs in flat if "worker" in attrs}
+        assert workers == {0, 1}

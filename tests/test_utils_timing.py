@@ -25,6 +25,50 @@ class TestTimer:
         second = t.stop()
         assert first >= 0 and second >= 0
 
+    def test_body_may_stop_its_own_interval(self):
+        # Historical asymmetry: Timer.__exit__ unconditionally called stop(),
+        # so a body that already stopped blew up with RuntimeError.
+        t = Timer()
+        with t:
+            t.stop()
+        assert not t.running
+
+    def test_nested_context_managers(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+            with t:
+                pass  # inner interval: ~0s
+            inner = t.elapsed
+            assert inner < 0.009
+        assert t.elapsed >= 0.009  # outer interval survives the nested one
+        assert not t.running
+
+    def test_exception_path_records_partial_interval(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                time.sleep(0.01)
+                raise ValueError("boom")
+        assert t.elapsed >= 0.009
+        assert not t.running
+
+    def test_nested_exception_path_unwinds_cleanly(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                with t:
+                    raise ValueError("inner")
+        assert not t.running  # both levels popped
+
+    def test_running_property(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
 
 class TestStageProfiler:
     def test_records_calls(self):
@@ -82,3 +126,38 @@ class TestStageProfiler:
         assert prof.total() == pytest.approx(
             prof.records["a"].total_s + prof.records["b"].total_s
         )
+
+
+class TestObservabilityHooks:
+    """StageProfiler feeds the unified observability layer on every stage."""
+
+    def test_stage_observes_latency_histogram(self):
+        from repro.observability import get_registry
+
+        prof = StageProfiler()
+        for _ in range(3):
+            with prof.stage("hooked"):
+                pass
+        hist = get_registry().histogram("repro_stage_seconds", stage="hooked")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(prof.records["hooked"].total_s, abs=0.01)
+
+    def test_stage_emits_spans_when_tracing(self):
+        from repro.observability import end_trace, start_trace
+
+        prof = StageProfiler()
+        start_trace("t")
+        with prof.stage("outer"):
+            with prof.stage("inner"):
+                pass
+        tree = end_trace().as_dict()
+        (outer,) = tree["children"]
+        assert outer["name"] == "outer"
+        assert [c["name"] for c in outer["children"]] == ["inner"]
+
+    def test_stage_without_tracer_is_spanless(self):
+        from repro.observability import get_tracer
+
+        prof = StageProfiler()
+        with prof.stage("quiet"):
+            assert get_tracer() is None  # no tracer appears implicitly
