@@ -98,6 +98,39 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="run the platform HTTP server")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="max concurrent /api requests; excess is queued briefly then shed with 429",
+    )
+    p.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; expiry returns a structured 504 with the session unchanged",
+    )
+    p.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict sessions idle longer than this (clients get the evicted hint)",
+    )
+    p.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="session capacity cap; beyond it the least-recently-used session is evicted",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on shutdown, wait this long for in-flight requests before aborting stragglers",
+    )
 
     p = sub.add_parser("readiness", help="score a file's AI-readiness")
     p.add_argument("path", type=Path)
@@ -232,6 +265,7 @@ def _cmd_evaluate(args) -> int:
     if args.dashboard is not None:
         from .observability import stage_latency_rows
         from .resilience import events_snapshot
+        from .resilience.serving import serving_snapshot
 
         args.dashboard.write_text(
             render_dashboard(
@@ -239,6 +273,7 @@ def _cmd_evaluate(args) -> int:
                 cache_counters=evaluator.last_cache_counters,
                 resilience_counters=events_snapshot(),
                 latency_rows=stage_latency_rows(),
+                serving=serving_snapshot(),
             )
         )
         print(f"\ndashboard -> {args.dashboard}")
@@ -281,7 +316,15 @@ def _cmd_synthesize(args) -> int:
 def _cmd_serve(args) -> int:
     from .platform.server import PlatformServer
 
-    server = PlatformServer(host=args.host, port=args.port)
+    server = PlatformServer(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        request_deadline_s=args.request_deadline,
+        session_ttl_s=args.session_ttl,
+        max_sessions=args.max_sessions,
+        drain_timeout_s=args.drain_timeout,
+    )
     server.start()
     print(f"serving at {server.url} — Ctrl-C to stop")
     try:

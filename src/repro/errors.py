@@ -71,3 +71,36 @@ class RetryExhaustedError(ReproError, RuntimeError):
 
 class DeadlineExceededError(ReproError, TimeoutError):
     """A :class:`repro.resilience.Deadline` budget was exhausted mid-operation."""
+
+
+class AdmissionRejectedError(ReproError, RuntimeError):
+    """The serving admission gate shed a request (server at capacity).
+
+    ``retry_after_s`` is the hint a client (or the HTTP layer's
+    ``Retry-After`` header) should wait before re-submitting.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """A circuit breaker is open: the protected stage is being skipped.
+
+    Callers that have a degraded path should catch this and fall back;
+    callers that do not will surface it as a structured error.
+    """
+
+
+class UnknownSessionError(SessionError):
+    """A session id does not resolve to a live session.
+
+    ``evicted_reason`` distinguishes ids the store never issued (``None``)
+    from sessions it evicted (``"ttl"`` / ``"capacity"``), so the API can
+    tell a client to recreate its workspace rather than retry.
+    """
+
+    def __init__(self, message: str, *, evicted_reason: str | None = None) -> None:
+        super().__init__(message)
+        self.evicted_reason = evicted_reason

@@ -143,6 +143,45 @@ def _resilience_section(counters: Mapping[str, int]) -> list[str]:
     return parts
 
 
+def _serving_section(serving: Mapping) -> list[str]:
+    """Serving card: inflight/shed, breaker states, session occupancy."""
+    admission = serving.get("admission", {})
+    sessions = serving.get("sessions")
+    cap = serving.get("session_cap")
+    evicted = int(serving.get("sessions_evicted_ttl", 0)) + int(
+        serving.get("sessions_evicted_capacity", 0)
+    )
+    cards = [
+        ("in flight", admission.get("inflight", 0), f"cap {admission.get('max_inflight', '—')}"),
+        ("requests shed", serving.get("shed_total", 0), "429 + Retry-After"),
+        ("degraded responses", serving.get("degraded_requests", 0), "breaker fallbacks"),
+        (
+            "sessions evicted",
+            evicted,
+            f"{serving.get('sessions_evicted_ttl', 0)} ttl / "
+            f"{serving.get('sessions_evicted_capacity', 0)} capacity",
+        ),
+    ]
+    if sessions is not None:
+        cards.insert(1, ("live sessions", sessions, f"cap {cap if cap is not None else '—'}"))
+    parts = ["<h2>Serving</h2>", '<div class="cards">']
+    for label, value, note in cards:
+        parts.append(
+            f"<div class='card'><span class='small'>{html.escape(label)}</span>"
+            f"<div class='value'>{value}</div>"
+            f"<span class='small'>{html.escape(str(note))}</span></div>"
+        )
+    for name, snap in sorted(serving.get("breakers", {}).items()):
+        parts.append(
+            f"<div class='card'><span class='small'>breaker: {html.escape(name)}</span>"
+            f"<div class='value'>{html.escape(str(snap.get('state', '?')))}</div>"
+            f"<span class='small'>{snap.get('consecutive_failures', 0)} consecutive "
+            f"failure(s), {snap.get('rejected_total', 0)} rejected</span></div>"
+        )
+    parts.append("</div>")
+    return parts
+
+
 def render_dashboard(
     evaluations: Mapping[str, MethodEvaluation],
     *,
@@ -150,6 +189,7 @@ def render_dashboard(
     cache_counters: Mapping[str, int] | None = None,
     resilience_counters: Mapping[str, int] | None = None,
     latency_rows: list | None = None,
+    serving: Mapping | None = None,
 ) -> str:
     """Render all evaluated methods into one HTML document.
 
@@ -161,7 +201,10 @@ def render_dashboard(
     recoveries should never be silent.  ``latency_rows``
     (``repro.observability.stage_latency_rows()``) adds the Fig. 8
     latency-percentile card: per-stage p50/p95/p99 from the live
-    ``repro_stage_seconds`` histograms.
+    ``repro_stage_seconds`` histograms.  ``serving``
+    (``repro.resilience.serving.serving_snapshot()``) adds the serving
+    card: in-flight/shed counts, breaker states, session occupancy and
+    evictions.
     """
     parts = [
         "<!DOCTYPE html><html><head><meta charset='utf-8'>",
@@ -177,5 +220,7 @@ def render_dashboard(
         parts.extend(_cache_section(cache_counters))
     if resilience_counters is not None:
         parts.extend(_resilience_section(resilience_counters))
+    if serving is not None:
+        parts.extend(_serving_section(serving))
     parts.append("</body></html>")
     return "".join(parts)

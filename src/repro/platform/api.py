@@ -7,39 +7,70 @@ the benchmark drivers share one contract.
 
 Actions
 -------
-``create_session``, ``load_file``, ``preview``, ``select_slice``,
+``create_session``, ``drop_session``, ``load_file``, ``load_array``
+(base64 npy or nested-list upload), ``preview``, ``select_slice``,
 ``segment`` (Mode A), ``rectify``, ``further_segment``,
 ``segment_volume`` (Mode B), ``evaluate`` (Mode C), ``dashboard``,
 ``adapt_spec`` (custom adaptation pipelines), ``mask_png`` (render export).
+
+Serving contract: session-bound actions run with the session's lock held
+(concurrent requests on one session serialize; distinct sessions run in
+parallel) and under a per-request :class:`~repro.resilience.Deadline`
+(``request_deadline_s`` default, overridable per request via
+``deadline_s``).  Deadline expiry raises *before* the session mutation
+commits and surfaces as ``{"ok": false, "type": "DeadlineExceededError"}``
+— the HTTP layer maps it to a 504.  Unknown or evicted session ids follow
+the ``{"ok": false, "error": "unknown_session"}`` contract, with an
+``evicted`` reason when the store aged the session out.
 """
 
 from __future__ import annotations
 
 import base64
+import binascii
+import io
 from typing import Callable
+
+import numpy as np
 
 from ..adapt.pipeline import AdaptationPipeline
 from ..core.prompts import SpatialHints
 from ..data.datasets import make_benchmark_dataset
-from ..errors import ReproError
+from ..errors import FormatError, ReproError, UnknownSessionError, ValidationError
 from ..eval.dashboard import render_dashboard
 from ..eval.evaluator import Evaluator
 from ..eval.experiments import ExperimentSetup, build_methods
 from ..io.png import encode_png
+from ..resilience.policy import Deadline
+from ..resilience.serving import default_breakers, request_scope, serving_snapshot
 from ..viz.overlay import overlay_mask
 from .session import Session, SessionStore
 
 __all__ = ["ApiHandler"]
 
-
 class ApiHandler:
     """Dispatches JSON actions onto a :class:`SessionStore`."""
 
-    def __init__(self, store: SessionStore | None = None) -> None:
-        self.store = store or SessionStore()
+    def __init__(
+        self,
+        store: SessionStore | None = None,
+        *,
+        request_deadline_s: float | None = None,
+    ) -> None:
+        # ``is not None``, not truthiness: an empty SessionStore has
+        # ``len() == 0`` and must not be silently replaced.
+        self.store = store if store is not None else SessionStore()
+        # The serving path always has breakers; a store constructed without
+        # them (plain library use) gets the standard grounding+SAM pair.
+        if not self.store.breakers:
+            self.store.breakers = default_breakers()
+        self.breakers = self.store.breakers
+        self.request_deadline_s = request_deadline_s
         self._actions: dict[str, Callable[[dict], dict]] = {
             "create_session": self._create_session,
+            "drop_session": self._drop_session,
             "load_file": self._load_file,
+            "load_array": self._load_array,
             "preview": self._preview,
             "select_slice": self._select_slice,
             "segment": self._segment,
@@ -57,6 +88,15 @@ class ApiHandler:
 
     # -- dispatch -----------------------------------------------------------
 
+    def _request_deadline(self, request: dict) -> Deadline | None:
+        """The request's deadline: per-request ``deadline_s`` wins over the
+        handler default; absent/non-positive means unbounded."""
+        budget = request.get("deadline_s", self.request_deadline_s)
+        if budget is None:
+            return None
+        budget = float(budget)
+        return Deadline(budget) if budget > 0 else None
+
     def handle(self, request: dict) -> dict:
         """Process one request dict: ``{"action": ..., ...params}``."""
         action = request.get("action")
@@ -64,7 +104,24 @@ class ApiHandler:
         if handler is None:
             return {"ok": False, "type": "UnknownAction", "error": f"unknown action {action!r}; known: {sorted(self._actions)}"}
         try:
-            payload = handler(request)
+            deadline = self._request_deadline(request)
+            with request_scope(deadline):
+                sid = request.get("session_id")
+                if sid is None or action == "drop_session":
+                    payload = handler(request)
+                else:
+                    session = self.store.get(str(sid))
+                    with session.lock:
+                        # Re-check after the lock wait: a request queued
+                        # behind a long mutation may already be overdue.
+                        if deadline is not None:
+                            deadline.check(f"action {action!r} (queued on session lock)")
+                        payload = handler(request)
+        except UnknownSessionError as exc:
+            payload = {"ok": False, "type": "SessionError", "error": "unknown_session", "detail": str(exc)}
+            if exc.evicted_reason is not None:
+                payload["evicted"] = exc.evicted_reason
+            return payload
         except ReproError as exc:
             return {"ok": False, "type": type(exc).__name__, "error": str(exc)}
         except (KeyError, TypeError, ValueError) as exc:
@@ -82,9 +139,43 @@ class ApiHandler:
         session = self.store.create()
         return {"session_id": session.session_id}
 
+    def _drop_session(self, request: dict) -> dict:
+        """Release a workspace.  Idempotent: dropping twice is not an error."""
+        self.store.drop(str(request["session_id"]))
+        return {"dropped": True}
+
     def _load_file(self, request: dict) -> dict:
         session = self._session(request)
         preview = session.load_file(str(request["path"]), modality=request.get("modality", "unknown"))
+        return {"preview": preview}
+
+    def _load_array(self, request: dict) -> dict:
+        """Upload an array directly: base64 ``.npy`` bytes or nested lists.
+
+        Every malformed payload — corrupt base64, truncated/invalid npy
+        stream, ragged nested lists, NaN/inf values — surfaces as a
+        structured ``{"ok": false}`` validation/format error, never as a
+        traceback.
+        """
+        session = self._session(request)
+        data = request.get("data_base64")
+        if data is not None:
+            try:
+                raw = base64.b64decode(str(data), validate=True)
+            except (binascii.Error, ValueError) as exc:
+                raise ValidationError(f"data_base64 is not valid base64: {exc}") from None
+            try:
+                arr = np.load(io.BytesIO(raw), allow_pickle=False)
+            except (ValueError, EOFError, OSError) as exc:
+                raise FormatError(f"decoded payload is not a valid .npy stream: {exc}") from None
+        elif "array" in request:
+            try:
+                arr = np.asarray(request["array"], dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(f"array payload is not rectangular/numeric: {exc}") from None
+        else:
+            raise ValidationError("load_array requires 'data_base64' or 'array'")
+        preview = session.load_array(arr, modality=request.get("modality", "unknown"))
         return {"preview": preview}
 
     def _preview(self, request: dict) -> dict:
@@ -104,7 +195,12 @@ class ApiHandler:
                 negative_points=tuple(tuple(p) for p in request.get("negative_points", [])),
             )
         result = session.segment(str(request["prompt"]), hints=hints)
-        return {"result": result.to_record()}
+        payload = {"result": result.to_record()}
+        degraded = result.metadata.get("degraded")
+        if degraded:
+            payload["degraded"] = True
+            payload["degraded_stages"] = list(degraded)
+        return payload
 
     def _rectify(self, request: dict) -> dict:
         session = self._session(request)
@@ -152,7 +248,12 @@ class ApiHandler:
         evaluations = getattr(self, "_last_evaluations", None)
         if not evaluations:
             return {"ok": False, "type": "SessionError", "error": "run evaluate before dashboard"}
-        return {"html": render_dashboard(evaluations)}
+        return {
+            "html": render_dashboard(
+                evaluations,
+                serving=serving_snapshot(breakers=self.breakers, store=self.store),
+            )
+        }
 
     def _adapt_spec(self, request: dict) -> dict:
         """Validate + apply a custom adaptation spec to the active image."""

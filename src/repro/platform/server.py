@@ -2,18 +2,29 @@
 
 ``POST /api`` with a JSON body → JSON response from :class:`ApiHandler`.
 ``GET /`` serves a minimal landing page; ``GET /health`` a liveness probe;
-``GET /ready`` a readiness probe (503 until the serving thread is up, and
-again after shutdown — the signal a load balancer drains on).
-Built on :mod:`http.server` (offline environment: no web frameworks), one
-request at a time — matching the single-GPU inference server the paper
-deploys.
+``GET /ready`` a readiness probe (503 until the serving thread is up, while
+draining, and after shutdown — the signal a load balancer drains on).
+Built on :mod:`http.server` (offline environment: no web frameworks),
+matching the single-GPU inference server the paper deploys.
+
+Overload contract (DESIGN.md §"Serving failure model"):
+
+* **admission** — at most ``max_inflight`` ``/api`` requests execute at
+  once; up to ``max_queue`` more wait briefly; the rest are shed with
+  **429** + ``Retry-After`` (``repro_server_shed_total``).
+* **deadlines** — a request whose per-request deadline expires returns a
+  structured **504**; the session it targeted is unchanged.
+* **drain** — ``stop()`` flips ``/ready`` to 503, rejects new work with
+  503, waits up to ``drain_timeout_s`` for in-flight requests, then aborts
+  stragglers and shuts the listener down.
 
 Failure contract: handler-level errors (unknown actions, bad params)
 arrive as ``{"ok": false, ...}`` JSON with HTTP 200 from
 :class:`ApiHandler`; an exception *escaping* the handler is a server bug
 and returns HTTP 500 with a structured body instead of a raw traceback on
 a 200.  Bodies over ``max_body_bytes`` are rejected with 413 before any
-parsing work.
+parsing work.  A client that disconnects mid-write is counted
+(``repro_server_client_disconnect_total``) and never surfaces as a 500.
 """
 
 from __future__ import annotations
@@ -27,7 +38,9 @@ from ..observability.adapters import collect_default_metrics
 from ..observability.metrics import get_registry
 from ..observability.trace import Tracer
 from ..resilience.events import record_event
+from ..resilience.serving import AdmissionGate, ServerLifecycle
 from .api import ApiHandler
+from .session import SessionStore
 
 __all__ = ["make_server", "PlatformServer"]
 
@@ -41,26 +54,60 @@ _LANDING = b"""<!DOCTYPE html><html><head><title>Zenesis (repro)</title></head>
 </body></html>"""
 
 
-def _make_handler(api: ApiHandler, state: dict, max_body_bytes: int, tracer: Tracer):
+class _PlatformHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a backlog sized for bursty clients.
+
+    The stdlib default accept backlog of 5 drops (or resets) connections
+    when more clients connect simultaneously than the listener can accept;
+    overload belongs to the admission gate (a structured 429), not to the
+    kernel's SYN queue.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
+
+#: Response types that map to a non-200 HTTP status (structured bodies
+#: either way; these are the ones load balancers key retry policy on).
+_STATUS_BY_TYPE = {"DeadlineExceededError": 504}
+
+
+def _make_handler(
+    api: ApiHandler,
+    state: dict,
+    max_body_bytes: int,
+    tracer: Tracer,
+    gate: AdmissionGate,
+    lifecycle: ServerLifecycle,
+):
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, fmt, *args):  # quiet by default
             pass
 
-        def _send(self, code: int, body: bytes, content_type: str) -> None:
-            self.send_response(code)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+        def _send(
+            self, code: int, body: bytes, content_type: str, headers: dict | None = None
+        ) -> None:
+            # The client may vanish at any point of the write; that is its
+            # prerogative, not a server error — count it and move on.
+            try:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                record_event("server.client_disconnect")
+                get_registry().counter("repro_server_client_disconnect_total").inc()
 
-        def _send_json(self, code: int, payload: dict) -> None:
-            self._send(code, json.dumps(payload).encode(), "application/json")
+        def _send_json(self, code: int, payload: dict, headers: dict | None = None) -> None:
+            self._send(code, json.dumps(payload).encode(), "application/json", headers)
 
         def do_GET(self):
             if self.path == "/health":
                 self._send(200, b'{"status": "ok"}', "application/json")
             elif self.path == "/ready":
-                if state.get("ready"):
+                if state.get("ready") and not lifecycle.draining:
                     self._send(200, b'{"ready": true}', "application/json")
                 else:
                     self._send(503, b'{"ready": false}', "application/json")
@@ -82,6 +129,32 @@ def _make_handler(api: ApiHandler, state: dict, max_body_bytes: int, tracer: Tra
             if self.path != "/api":
                 self._send(404, b'{"error": "not found"}', "application/json")
                 return
+            if lifecycle.draining or not state.get("ready"):
+                record_event("server.rejected_draining")
+                self._send_json(
+                    503,
+                    {"ok": False, "error": "server is draining"},
+                    {"Retry-After": "1"},
+                )
+                return
+            if not gate.try_acquire():
+                self._send_json(
+                    429,
+                    {
+                        "ok": False,
+                        "error": f"server at capacity ({gate.max_inflight} in flight); "
+                        "retry later",
+                    },
+                    {"Retry-After": f"{gate.retry_after_s():.0f}"},
+                )
+                return
+            try:
+                with lifecycle.track():
+                    self._handle_api()
+            finally:
+                gate.release()
+
+        def _handle_api(self) -> None:
             try:
                 length = int(self.headers.get("Content-Length", "0"))
             except ValueError:
@@ -123,17 +196,27 @@ def _make_handler(api: ApiHandler, state: dict, max_body_bytes: int, tracer: Tra
             registry.histogram("repro_server_request_seconds", action=action).observe(
                 time.perf_counter() - t0
             )
-            status = "200" if response.get("ok", True) else "error"
+            code = 200
+            status = "200"
+            if not response.get("ok", True):
+                code = _STATUS_BY_TYPE.get(response.get("type"), 200)
+                status = str(code) if code != 200 else "error"
             registry.counter("repro_server_requests_total", action=action, status=status).inc()
             span.set(status=status)
             tracer.finish(span)
-            self._send_json(200, response)
+            self._send_json(code, response)
 
     return Handler
 
 
 class PlatformServer:
-    """Owns the HTTP server thread; use as a context manager in tests."""
+    """Owns the HTTP server thread; use as a context manager in tests.
+
+    When ``api`` is not supplied, the server builds its own
+    :class:`ApiHandler` over a :class:`SessionStore` configured with the
+    given ``max_sessions`` / ``session_ttl_s``, and enforces
+    ``request_deadline_s`` per ``/api`` action.
+    """
 
     def __init__(
         self,
@@ -142,13 +225,33 @@ class PlatformServer:
         api: ApiHandler | None = None,
         *,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        queue_timeout_s: float = 0.5,
+        drain_timeout_s: float = 5.0,
+        request_deadline_s: float | None = None,
+        max_sessions: int = 64,
+        session_ttl_s: float | None = None,
     ) -> None:
-        self.api = api or ApiHandler()
+        if api is None:
+            api = ApiHandler(
+                SessionStore(max_sessions=max_sessions, ttl_s=session_ttl_s),
+                request_deadline_s=request_deadline_s,
+            )
+        self.api = api
+        self.gate = AdmissionGate(
+            max_inflight, max_queue=max_queue, queue_timeout_s=queue_timeout_s
+        )
+        self.lifecycle = ServerLifecycle()
+        self.drain_timeout_s = float(drain_timeout_s)
         self._state: dict = {"ready": False}
         #: The server's own trace: one ``server.request`` span per POST.
         self.tracer = Tracer("server")
-        self.httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(self.api, self._state, max_body_bytes, self.tracer)
+        self.httpd = _PlatformHTTPServer(
+            (host, port),
+            _make_handler(
+                self.api, self._state, max_body_bytes, self.tracer, self.gate, self.lifecycle
+            ),
         )
         self._thread: threading.Thread | None = None
 
@@ -163,16 +266,27 @@ class PlatformServer:
 
     @property
     def ready(self) -> bool:
-        return bool(self._state["ready"])
+        return bool(self._state["ready"]) and not self.lifecycle.draining
 
     def start(self) -> "PlatformServer":
+        self.lifecycle.reset()
         self._thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
         self._thread.start()
         self._state["ready"] = True
         return self
 
     def stop(self) -> None:
+        """Graceful drain, then shutdown.
+
+        Readiness flips to 503 first (a load balancer stops routing), new
+        ``/api`` work is rejected, in-flight requests get up to
+        ``drain_timeout_s`` to finish, and only then is the listener torn
+        down — stragglers past the window are abandoned (daemon threads)
+        and counted in ``repro_server_drain_aborted_total``.
+        """
         self._state["ready"] = False
+        self.lifecycle.begin_drain()
+        self.lifecycle.wait_idle(self.drain_timeout_s)
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:
@@ -185,6 +299,6 @@ class PlatformServer:
         self.stop()
 
 
-def make_server(host: str = "127.0.0.1", port: int = 8765) -> PlatformServer:
+def make_server(host: str = "127.0.0.1", port: int = 8765, **kwargs) -> PlatformServer:
     """Convenience constructor used by the run-server example."""
-    return PlatformServer(host=host, port=port)
+    return PlatformServer(host=host, port=port, **kwargs)

@@ -12,7 +12,10 @@ destroy accumulated work.  This package supplies the failure model:
 * :class:`FaultPlan` / :func:`get_fault_plan` — declarative fault injection
   driven by ``$REPRO_FAULTS`` (:mod:`repro.resilience.faults`);
 * :data:`EVENTS` — the process-global recovery-event counters surfaced in
-  profiler tables and the dashboard (:mod:`repro.resilience.events`).
+  profiler tables and the dashboard (:mod:`repro.resilience.events`);
+* :mod:`repro.resilience.serving` — the online path's overload contract:
+  admission control, per-request deadlines, circuit breakers, and graceful
+  drain (imported explicitly by the platform layer; not re-exported here).
 
 See DESIGN.md §"Failure model and recovery" for what retries, what
 checkpoints, what degrades, and what raises.

@@ -20,6 +20,12 @@ Supported kinds (hook sites in parentheses):
                      retry path.
 ``disk_corrupt``     overwrite a just-written disk-cache entry with garbage
                      (cache disk tier), exercising quarantine.
+``grounding_error``  raise :class:`~repro.errors.GroundingError` inside the
+                     platform session's guarded segment path, exercising
+                     the grounding circuit breaker + degraded fallbacks.
+``sam_error``        raise :class:`~repro.errors.PipelineError` in the SAM
+                     decode stage of the same path (SAM breaker /
+                     relevance-mask fallback).
 
 Conditions: ``slice=N`` / ``worker=N`` match the hook's context, ``p=F``
 fires probabilistically (deterministic per-rule RNG stream), ``times=N``

@@ -1,0 +1,119 @@
+"""Server lifecycle: in-flight tracking, graceful drain, request deadlines.
+
+:class:`ServerLifecycle` counts in-flight requests so ``stop()`` can flip
+readiness to 503, let a load balancer stop routing, wait for in-flight work
+up to a drain deadline, and only then abort stragglers — a rolling restart
+with zero dropped work when the drain window is honoured.
+
+The module also owns the *request deadline context*: the API layer enters
+``request_scope(Deadline(...))`` around each action, and deep session code
+calls :func:`check_deadline` at stage boundaries (post-adapt, post-ground,
+pre-commit).  Expiry raises :class:`~repro.errors.DeadlineExceededError`
+*before* any session mutation is committed, which is what makes a 504
+safe to retry: the session state is exactly what it was before the request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from ...observability.metrics import get_registry
+from ..events import record_event
+from ..policy import Deadline
+
+__all__ = [
+    "ServerLifecycle",
+    "request_scope",
+    "current_deadline",
+    "check_deadline",
+]
+
+_REQUEST_LOCAL = threading.local()
+
+
+@contextmanager
+def request_scope(deadline: Deadline | None):
+    """Bind ``deadline`` to the current thread for the request's duration."""
+    previous = getattr(_REQUEST_LOCAL, "deadline", None)
+    _REQUEST_LOCAL.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _REQUEST_LOCAL.deadline = previous
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline bound to this thread's request, if any."""
+    return getattr(_REQUEST_LOCAL, "deadline", None)
+
+
+def check_deadline(what: str = "request") -> None:
+    """Raise ``DeadlineExceededError`` when the current request is overdue.
+
+    A no-op outside a request scope (library callers are unaffected).
+    """
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check(what)
+
+
+class ServerLifecycle:
+    """Tracks in-flight requests and coordinates graceful drain."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @contextmanager
+    def track(self):
+        """Count one request as in flight for the drain barrier."""
+        with self._cond:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._inflight -= 1
+                self._cond.notify_all()
+
+    def begin_drain(self) -> None:
+        with self._cond:
+            self._draining = True
+
+    def reset(self) -> None:
+        """Leave drain mode (a stopped server restarted in tests)."""
+        with self._cond:
+            self._draining = False
+
+    def wait_idle(self, timeout_s: float) -> bool:
+        """Wait for in-flight work to finish; False when the window expires.
+
+        The outcome is recorded (``server.drained`` / ``server.drain_aborted``
+        events plus ``repro_server_drain_aborted_total``) so an operator can
+        tell clean rolls from forced ones.
+        """
+        budget = Deadline(max(float(timeout_s), 1e-9), clock=time.monotonic)
+        with self._cond:
+            drained = self._cond.wait_for(
+                lambda: self._inflight == 0, timeout=budget.remaining()
+            )
+            stragglers = self._inflight
+        if drained:
+            record_event("server.drained")
+        else:
+            record_event("server.drain_aborted")
+            get_registry().counter("repro_server_drain_aborted_total").inc(stragglers)
+        return drained

@@ -16,6 +16,7 @@ __all__ = [
     "ensure_ndarray",
     "ensure_2d",
     "ensure_3d",
+    "ensure_finite",
     "ensure_in",
     "ensure_positive",
     "ensure_range",
@@ -49,6 +50,29 @@ def ensure_3d(value, name: str = "volume") -> np.ndarray:
         raise ValidationError(f"{name} must be 3-D (Z, Y, X), got shape {arr.shape}")
     if min(arr.shape) < 1:
         raise ValidationError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def ensure_finite(value, name: str = "array") -> np.ndarray:
+    """Require a non-empty numeric array with no NaN or ±inf entries.
+
+    The platform upload path runs every user array through this before it
+    reaches the pipeline: a NaN-poisoned instrument export must surface as
+    a structured validation error, not as silently-empty masks (NaN
+    comparisons are all-False) or a numeric crash deep in a stage.
+    """
+    arr = ensure_ndarray(value, name)
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty, got shape {arr.shape}")
+    if np.issubdtype(arr.dtype, np.floating) or np.issubdtype(arr.dtype, np.complexfloating):
+        bad = ~np.isfinite(arr)
+        if bad.any():
+            n_nan = int(np.isnan(arr).sum())
+            n_inf = int(bad.sum()) - n_nan
+            raise ValidationError(
+                f"{name} contains non-finite values ({n_nan} NaN, {n_inf} inf "
+                f"of {arr.size} elements)"
+            )
     return arr
 
 

@@ -8,6 +8,7 @@ from repro.utils.validation import (
     ensure_2d,
     ensure_3d,
     ensure_box,
+    ensure_finite,
     ensure_in,
     ensure_mask,
     ensure_ndarray,
@@ -107,3 +108,39 @@ class TestEnsureMask:
     def test_shape_checked(self):
         with pytest.raises(ValidationError, match="shape"):
             ensure_mask(np.zeros((2, 2), dtype=bool), shape=(3, 3))
+
+
+class TestEnsureFinite:
+    def test_finite_float_passthrough(self):
+        arr = np.linspace(0, 1, 16).reshape(4, 4)
+        out = ensure_finite(arr)
+        assert out is arr or np.array_equal(out, arr)
+
+    def test_integer_dtypes_skip_the_scan(self):
+        out = ensure_finite(np.arange(8, dtype=np.int32))
+        assert out.dtype == np.int32
+
+    def test_nan_rejected_with_counts(self):
+        arr = np.ones((3, 3))
+        arr[0, 0] = np.nan
+        with pytest.raises(ValidationError, match=r"1 NaN, 0 inf"):
+            ensure_finite(arr, "upload")
+
+    def test_inf_rejected(self):
+        arr = np.ones(5)
+        arr[2] = -np.inf
+        with pytest.raises(ValidationError, match=r"0 NaN, 1 inf"):
+            ensure_finite(arr)
+
+    def test_mixed_nan_and_inf_counts(self):
+        arr = np.array([np.nan, np.inf, -np.inf, 1.0])
+        with pytest.raises(ValidationError, match=r"1 NaN, 2 inf"):
+            ensure_finite(arr)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            ensure_finite(np.zeros((0, 4)), "upload")
+
+    def test_name_appears_in_message(self):
+        with pytest.raises(ValidationError, match="uploaded array"):
+            ensure_finite(np.array([np.nan]), "uploaded array")
