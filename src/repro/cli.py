@@ -7,6 +7,7 @@ Commands mirror the platform's no-code surface for shell users:
 * ``evaluate``   — Mode C on the built-in benchmark, prints paper tables
 * ``synthesize`` — generate a synthetic FIB-SEM acquisition to disk
 * ``serve``      — run the HTTP platform server
+* ``jobs``       — durable background jobs (``submit|status|watch|cancel|gc``)
 * ``readiness``  — score a file's AI-readiness
 * ``metrics``    — observability utilities (``metrics diff a/run.json b/run.json``)
 
@@ -131,6 +132,61 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="on shutdown, wait this long for in-flight requests before aborting stragglers",
     )
+    p.add_argument(
+        "--jobs-dir",
+        type=Path,
+        default=None,
+        help="enable durable background jobs journaled under this directory "
+        "(job_* API actions; large segment_volume requests go async)",
+    )
+    p.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        help="background job worker threads (each fans out through the process pool)",
+    )
+    p.add_argument(
+        "--job-lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat lease: a job whose worker goes silent this long is retried",
+    )
+    p.add_argument(
+        "--auto-job-slices",
+        type=int,
+        default=None,
+        metavar="N",
+        help="segment_volume requests on volumes with >= N slices return 202 + job_id "
+        "instead of blocking (default: never redirect)",
+    )
+
+    p = sub.add_parser("jobs", help="durable background jobs over a jobs directory")
+    p.add_argument(
+        "--jobs-dir",
+        type=Path,
+        required=True,
+        help="the journaled jobs directory (shared with a server started with --jobs-dir)",
+    )
+    jsub = p.add_subparsers(dest="jobs_command", required=True)
+    jp = jsub.add_parser("submit", help="queue a job (a co-located server or watcher runs it)")
+    jp.add_argument("kind", choices=["segment_volume", "evaluate", "synthesize"])
+    jp.add_argument("--path", type=Path, default=None, help="volume file (segment_volume)")
+    jp.add_argument("--prompt", default=None, help="text prompt (segment_volume)")
+    jp.add_argument("--params", default=None, help="JSON params dict (evaluate/synthesize)")
+    jp.add_argument("--priority", type=int, default=0, help="higher runs first")
+    jp.add_argument("--workers", type=int, default=1, help="decode workers (segment_volume)")
+    jp.add_argument("--no-temporal", action="store_true")
+    jp.add_argument("--run", action="store_true", help="also execute queued jobs here until idle")
+    jp = jsub.add_parser("status", help="print one job (or the whole queue) as JSON")
+    jp.add_argument("job_id", nargs="?", default=None)
+    jp = jsub.add_parser("watch", help="follow a job's progress events until it is terminal")
+    jp.add_argument("job_id")
+    jp.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS")
+    jp = jsub.add_parser("cancel", help="cancel a job (cooperative when already running)")
+    jp.add_argument("job_id")
+    jp = jsub.add_parser("gc", help="delete old terminal jobs and compact the journal")
+    jp.add_argument("--max-age", type=float, default=24 * 3600.0, metavar="SECONDS")
 
     p = sub.add_parser("readiness", help="score a file's AI-readiness")
     p.add_argument("path", type=Path)
@@ -324,9 +380,14 @@ def _cmd_serve(args) -> int:
         session_ttl_s=args.session_ttl,
         max_sessions=args.max_sessions,
         drain_timeout_s=args.drain_timeout,
+        jobs_dir=str(args.jobs_dir) if args.jobs_dir is not None else None,
+        job_workers=args.job_workers,
+        job_lease_ttl_s=args.job_lease_ttl,
+        auto_job_slices=args.auto_job_slices,
     )
     server.start()
-    print(f"serving at {server.url} — Ctrl-C to stop")
+    jobs_note = f" (jobs -> {args.jobs_dir})" if args.jobs_dir is not None else ""
+    print(f"serving at {server.url}{jobs_note} — Ctrl-C to stop")
     try:
         import threading
 
@@ -336,6 +397,69 @@ def _cmd_serve(args) -> int:
     finally:
         server.stop()
     return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .jobs import JobService
+
+    svc = JobService(args.jobs_dir)
+    cmd = args.jobs_command
+    if cmd == "submit":
+        if args.kind == "segment_volume":
+            if args.path is None or args.prompt is None:
+                print("segment_volume jobs need --path and --prompt", file=sys.stderr)
+                return 2
+            from .io.formats import load_image_file
+
+            arr = load_image_file(args.path)
+            job = svc.submit_segment_volume(
+                arr,
+                args.prompt,
+                temporal=not args.no_temporal,
+                n_workers=args.workers,
+                priority=args.priority,
+            )
+        else:
+            params = json.loads(args.params) if args.params else {}
+            job = svc.submit(args.kind, params, priority=args.priority)
+        print(f"submitted {job.job_id} ({job.kind}, priority {job.priority})")
+        if args.run:
+            n = svc.runner.run_until_idle()
+            print(f"ran {n} job(s); {job.job_id} -> {svc.status(job.job_id)['state']}")
+        return 0
+    if cmd == "status":
+        payload = svc.status(args.job_id) if args.job_id else svc.snapshot()
+        print(json.dumps(payload, indent=2))
+        return 0
+    if cmd == "watch":
+        import time as _time
+
+        cursor, t0 = 0, _time.monotonic()
+        while True:
+            feed = svc.events(args.job_id, cursor=cursor)
+            for event in feed["events"]:
+                detail = {k: v for k, v in event.items() if k not in ("job_id", "seq", "ts", "kind")}
+                print(f"[{event['seq']:4d}] {event['kind']} {json.dumps(detail)}")
+            cursor = feed["cursor"]
+            status = svc.status(args.job_id)
+            if status["state"] in ("succeeded", "failed", "cancelled"):
+                print(f"{args.job_id} -> {status['state']}")
+                return 0 if status["state"] == "succeeded" else 1
+            if _time.monotonic() - t0 > args.timeout:
+                print(f"timed out after {args.timeout}s ({status['state']})", file=sys.stderr)
+                return 1
+            _time.sleep(0.2)
+    if cmd == "cancel":
+        print(json.dumps(svc.cancel(args.job_id), indent=2))
+        return 0
+    if cmd == "gc":
+        swept = svc.gc(max_age_s=args.max_age)
+        print(
+            f"removed {len(swept['removed'])} job(s), "
+            f"{swept['orphan_inputs']} orphan input(s); journal compacted"
+        )
+        return 0
+    return 2
 
 
 def _cmd_readiness(args) -> int:
@@ -358,6 +482,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "synthesize": _cmd_synthesize,
     "serve": _cmd_serve,
+    "jobs": _cmd_jobs,
     "readiness": _cmd_readiness,
 }
 

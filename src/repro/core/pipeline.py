@@ -42,6 +42,7 @@ from ..resilience.checkpoint import CheckpointManager
 from ..resilience.events import events_snapshot, record_event
 from ..resilience.faults import get_fault_plan
 from ..resilience.policy import RetryPolicy
+from ..resilience.serving.lifecycle import check_deadline
 from ..utils.timing import StageProfiler
 from .prompts import SpatialHints, TextPrompt
 from .results import SliceResult, VolumeResult
@@ -416,6 +417,10 @@ class ZenesisPipeline:
         detections: list[Detection] = []
         with trace("volume.prepare", prompt=text, n_slices=n):
             for z in range(n):
+                # Per-slice deadline check: a request whose budget expires
+                # mid-volume 504s at the next slice boundary instead of
+                # grinding through the remaining Z range first.
+                check_deadline(f"segment_volume (prepare slice {z})")
                 with trace("slice.prepare", slice=z):
                     det_img, seg_img = self.adapt(voxels[z])
                     detections.append(self.ground(det_img, text, slice_index=z))
@@ -434,6 +439,7 @@ class ZenesisPipeline:
         registry = get_registry()
         with trace("volume.segment", prompt=text, n_slices=n):
             for z in range(n):
+                check_deadline(f"segment_volume (segment slice {z})")
                 if plan.active:
                     plan.crash_if("volume_crash", slice=z)
                     if plan.should_fire("volume_abort", slice=z):

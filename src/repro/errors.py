@@ -93,6 +93,23 @@ class CircuitOpenError(ReproError, RuntimeError):
     """
 
 
+class JobError(ReproError, RuntimeError):
+    """A background job could not be submitted, scheduled, or executed."""
+
+
+class UnknownJobError(JobError):
+    """A job id does not resolve to any job the store has ever journaled."""
+
+
+class JobCancelledError(JobError):
+    """A job observed its cooperative cancel flag and stopped cleanly.
+
+    Raised from inside the job's execution path (via the request-deadline
+    machinery) so the runner can mark the record ``cancelled`` rather than
+    ``failed``.
+    """
+
+
 class UnknownSessionError(SessionError):
     """A session id does not resolve to a live session.
 

@@ -182,6 +182,51 @@ def _serving_section(serving: Mapping) -> list[str]:
     return parts
 
 
+def _jobs_section(jobs: Mapping) -> list[str]:
+    """Background-jobs card: queue depth, states, and the recent jobs table."""
+    by_state = dict(jobs.get("by_state", {}))
+    cards = [
+        ("jobs total", jobs.get("total", 0), "everything the journal remembers"),
+        ("queued", by_state.get("queued", 0), "waiting for a worker lease"),
+        ("running", by_state.get("running", 0) + by_state.get("leased", 0), "leased or executing"),
+        (
+            "terminal",
+            by_state.get("succeeded", 0) + by_state.get("failed", 0) + by_state.get("cancelled", 0),
+            f"{by_state.get('succeeded', 0)} ok / {by_state.get('failed', 0)} failed / "
+            f"{by_state.get('cancelled', 0)} cancelled",
+        ),
+    ]
+    parts = ["<h2>Background jobs</h2>", '<div class="cards">']
+    for label, value, note in cards:
+        parts.append(
+            f"<div class='card'><span class='small'>{html.escape(label)}</span>"
+            f"<div class='value'>{value}</div>"
+            f"<span class='small'>{html.escape(str(note))}</span></div>"
+        )
+    parts.append("</div>")
+    recent = jobs.get("jobs", [])
+    if recent:
+        parts.append(
+            "<table><tr><th>job</th><th>kind</th><th>state</th><th>attempt</th>"
+            "<th>progress</th></tr>"
+        )
+        for j in recent:
+            progress = j.get("progress", {})
+            done, total = progress.get("done"), progress.get("total")
+            frac = f"{done}/{total} {_bar(done / total)}" if total else "—"
+            parts.append(
+                f"<tr><td class='name'>{html.escape(str(j.get('job_id')))}</td>"
+                f"<td class='name'>{html.escape(str(j.get('kind')))}</td>"
+                f"<td class='name'>{html.escape(str(j.get('state')))}</td>"
+                f"<td>{j.get('attempt', 0)}/{j.get('max_attempts', 0)}</td>"
+                f"<td>{frac}</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p class='small'>no jobs submitted this run</p>")
+    return parts
+
+
 def render_dashboard(
     evaluations: Mapping[str, MethodEvaluation],
     *,
@@ -190,6 +235,7 @@ def render_dashboard(
     resilience_counters: Mapping[str, int] | None = None,
     latency_rows: list | None = None,
     serving: Mapping | None = None,
+    jobs: Mapping | None = None,
 ) -> str:
     """Render all evaluated methods into one HTML document.
 
@@ -204,7 +250,9 @@ def render_dashboard(
     ``repro_stage_seconds`` histograms.  ``serving``
     (``repro.resilience.serving.serving_snapshot()``) adds the serving
     card: in-flight/shed counts, breaker states, session occupancy and
-    evictions.
+    evictions.  ``jobs`` (``repro.jobs.JobService.snapshot()``) adds the
+    background-jobs card: queue depth by state plus the recent jobs table
+    with per-job progress bars.
     """
     parts = [
         "<!DOCTYPE html><html><head><meta charset='utf-8'>",
@@ -222,5 +270,7 @@ def render_dashboard(
         parts.extend(_resilience_section(resilience_counters))
     if serving is not None:
         parts.extend(_serving_section(serving))
+    if jobs is not None:
+        parts.extend(_jobs_section(jobs))
     parts.append("</body></html>")
     return "".join(parts)

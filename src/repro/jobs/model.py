@@ -1,0 +1,122 @@
+"""The job record: one durable unit of background work.
+
+A :class:`JobRecord` is the single JSON-safe structure every queue component
+shares — the :class:`~repro.jobs.store.JobStore` journals it, the
+:class:`~repro.jobs.scheduler.JobScheduler` transitions it, the
+:class:`~repro.jobs.runner.JobRunner` executes it, and the platform API
+serialises its public view to clients.
+
+State machine (see DESIGN.md §"Job lifecycle")::
+
+    queued ──acquire──▶ leased ──start──▶ running ──▶ succeeded
+       ▲                   │                 │   └──▶ failed
+       │                   └───────┬─────────┘   └──▶ cancelled
+       └──── lease expiry / retryable failure ◀──┘
+
+A lease that expires (worker killed, heartbeat lost) sends the job back to
+``queued`` for another attempt until ``max_attempts`` is exhausted, at which
+point it lands in ``failed`` with the structured ``error`` carried along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "JobRecord",
+    "JOB_KINDS",
+    "QUEUED",
+    "LEASED",
+    "RUNNING",
+    "SUCCEEDED",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "ACTIVE_STATES",
+]
+
+#: Payload kinds the runner knows how to execute.
+JOB_KINDS = ("segment_volume", "evaluate", "synthesize")
+
+QUEUED = "queued"
+LEASED = "leased"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED})
+#: States holding a lease a worker must keep alive.
+ACTIVE_STATES = frozenset({LEASED, RUNNING})
+
+
+@dataclass
+class JobRecord:
+    """One background job, JSON-safe end to end (everything journals)."""
+
+    job_id: str
+    kind: str
+    params: dict = field(default_factory=dict)
+    state: str = QUEUED
+    priority: int = 0  # higher runs first; FIFO (submit_seq) within a priority
+    submit_seq: int = 0
+    attempt: int = 0  # executions started (1-based once first leased)
+    max_attempts: int = 3
+    created_at: float = 0.0  # wall-clock (survives restarts, unlike monotonic)
+    updated_at: float = 0.0
+    not_before: float = 0.0  # retry backoff gate (wall-clock)
+    lease_owner: str | None = None
+    lease_expires_at: float | None = None
+    cancel_requested: bool = False
+    session_id: str | None = None  # provenance only; jobs outlive sessions
+    input_path: str | None = None  # durable input snapshot (e.g. volume .npy)
+    checkpoint_dir: str | None = None  # per-slice shards for resume
+    progress: dict = field(default_factory=dict)  # {"done": k, "total": n, ...}
+    result: dict | None = None  # set on succeeded
+    error: dict | None = None  # structured {"type": ..., "error": ...} on failed
+    events_seq: int = 0  # last progress-event sequence number issued
+    spans: list = field(default_factory=list)  # exported span dicts (adoption)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobRecord":
+        known = {f for f in cls.__dataclass_fields__}  # tolerate newer fields
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def lease_expired(self, now: float) -> bool:
+        return (
+            self.state in ACTIVE_STATES
+            and self.lease_expires_at is not None
+            and now >= self.lease_expires_at
+        )
+
+    def public_view(self) -> dict:
+        """The client-facing status dict (no payload internals, no spans)."""
+        view = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "attempt": self.attempt,
+            "max_attempts": self.max_attempts,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "cancel_requested": self.cancel_requested,
+            "progress": dict(self.progress),
+            "has_result": self.result is not None,
+        }
+        if self.session_id is not None:
+            view["session_id"] = self.session_id
+        if self.error is not None:
+            view["error"] = dict(self.error)
+        return view

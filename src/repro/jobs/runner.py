@@ -1,0 +1,486 @@
+"""Job execution: worker threads that lease, run, heartbeat, and checkpoint.
+
+A :class:`JobRunner` owns a small pool of worker *threads* inside the
+serving process.  Each worker loops: acquire a lease from the scheduler,
+execute the payload, report terminal state.  The heavy lifting of a
+``segment_volume`` payload fans out through the existing
+:func:`repro.parallel.pool.run_partitioned` process pool, one *round* of
+slices at a time, with every completed slice persisted through
+:class:`~repro.resilience.CheckpointManager` — so a worker (or the whole
+process) killed mid-job resumes from the last completed slice shard and the
+final masks are bit-identical to an uninterrupted run.
+
+Determinism note: the decode stage receives the *full-sequence* temporally
+refined boxes from the coordinating thread, so masks are independent of the
+worker count and of where a resume happened — unlike the halo-approximate
+``segment_volume_batch`` path, which trades exactness for block locality.
+
+Cancellation rides the request-deadline machinery: the runner binds a
+:class:`JobGuard` via :func:`repro.resilience.serving.request_scope`, and
+every per-slice ``check_deadline`` (or explicit ``guard.check()``) raises
+:class:`~repro.errors.JobCancelledError` once the record's cancel flag is
+set — no thread is ever killed, work stops at the next slice boundary.
+
+Fault hooks: ``job_crash`` (REPRO_FAULTS) hard-exits the process at the
+start of a decode round (``slice=N`` matches the first slice of the round),
+the job-queue twin of ``volume_crash``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Callable
+
+import numpy as np
+
+from ..cache import array_content_key, combine_keys, config_fingerprint
+from ..core.pipeline import ZenesisConfig, ZenesisPipeline
+from ..errors import DeadlineExceededError, JobCancelledError, JobError, ReproError
+from ..observability.metrics import get_registry
+from ..observability.trace import Tracer, export_spans
+from ..parallel.pool import run_partitioned
+from ..parallel.scheduler import block_partition
+from ..parallel.sharedmem import SharedArraySpec, SharedNDArray
+from ..resilience.checkpoint import CheckpointManager
+from ..resilience.events import record_event
+from ..resilience.faults import get_fault_plan
+from ..resilience.policy import Deadline
+from ..resilience.serving.lifecycle import request_scope
+from .model import JobRecord
+from .scheduler import JobScheduler
+from .store import JobStore
+
+__all__ = ["JobRunner", "JobGuard"]
+
+
+class JobGuard:
+    """Deadline-shaped cancellation token bound into ``request_scope``.
+
+    Duck-types :class:`~repro.resilience.Deadline` for the parts the
+    serving machinery uses (``check``/``remaining``/``clamp``/``expired``),
+    layering the job's cooperative cancel flag on top of an optional real
+    wall-clock budget.
+    """
+
+    def __init__(self, store: JobStore, job_id: str, deadline: Deadline | None = None) -> None:
+        self._store = store
+        self._job_id = job_id
+        self._deadline = deadline
+
+    def check(self, what: str = "job") -> None:
+        if self._deadline is not None:
+            self._deadline.check(what)
+        rec = self._store.maybe_get(self._job_id)
+        if rec is not None and rec.cancel_requested:
+            raise JobCancelledError(f"job {self._job_id} cancelled during {what}")
+
+    def remaining(self) -> float:
+        return self._deadline.remaining() if self._deadline is not None else float("inf")
+
+    def clamp(self, wait_s: float) -> float:
+        return self._deadline.clamp(wait_s) if self._deadline is not None else float(wait_s)
+
+    @property
+    def expired(self) -> bool:
+        return self._deadline.expired if self._deadline is not None else False
+
+
+# -- decode worker (module-level: picklable by reference under fork) -----------
+
+#: Per-process pipeline memo so the inline (single-partition) pool path does
+#: not rebuild models every round; forked children inherit it copy-on-write.
+_PIPELINE_MEMO: dict[str, ZenesisPipeline] = {}
+
+
+def _memo_pipeline(config: ZenesisConfig) -> ZenesisPipeline:
+    key = config_fingerprint(config)
+    pipeline = _PIPELINE_MEMO.get(key)
+    if pipeline is None:
+        pipeline = ZenesisPipeline(config)
+        _PIPELINE_MEMO[key] = pipeline
+    return pipeline
+
+
+def _decode_round(
+    partition,
+    vol_spec: SharedArraySpec,
+    out_spec: SharedArraySpec,
+    z_list: tuple[int, ...],
+    boxes_by_index: tuple,
+    config: ZenesisConfig,
+    prompt: str,
+) -> dict:
+    """Pool worker: decode one round's owned slices into the shared mask array.
+
+    ``partition.owned`` indexes into ``z_list`` (the round's absolute slice
+    numbers).  Adaptation and grounding re-run per slice — deterministic and
+    served from the (fork-inherited) content-addressed cache — while the
+    temporally refined boxes come precomputed from the coordinator, keeping
+    masks independent of worker count and of resume boundaries.
+    """
+    pipeline = _memo_pipeline(config)
+    vol = SharedNDArray.attach(vol_spec)
+    out = SharedNDArray.attach(out_spec)
+    try:
+        for i in partition.owned:
+            z = int(z_list[i])
+            det_img, seg_img = pipeline.adapt(vol.array[z])
+            detection = pipeline.ground(det_img, prompt, slice_index=z)
+            mask, _, _ = pipeline.segment_with_boxes(seg_img, detection, boxes_by_index[i])
+            out.array[z] = mask
+        return {"worker": partition.worker, "n_slices": len(partition.owned)}
+    finally:
+        vol.close()
+        out.close()
+
+
+class JobRunner:
+    """Executes leased jobs on background worker threads."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        store: JobStore,
+        *,
+        n_workers: int = 1,
+        poll_s: float = 0.1,
+        tracer: Tracer | None = None,
+        decode_timeout_s: float = 600.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.scheduler = scheduler
+        self.store = store
+        self.n_workers = int(n_workers)
+        self.poll_s = float(poll_s)
+        self.tracer = tracer  # spans of finished jobs are adopted here
+        self.decode_timeout_s = float(decode_timeout_s)
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._dispatch: dict[str, Callable] = {
+            "segment_volume": self._run_segment_volume,
+            "evaluate": self._run_evaluate,
+            "synthesize": self._run_synthesize,
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "JobRunner":
+        if self._threads:
+            return self
+        self._stop.clear()
+        for i in range(self.n_workers):
+            t = threading.Thread(target=self._worker_loop, args=(f"w{i}",), daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Stop accepting new jobs; wait briefly for running ones.
+
+        A job still running past the window is *abandoned*, not killed: its
+        lease expires and the next runner (this process restarted, or a
+        peer) reclaims and resumes it from its checkpoint shards.
+        """
+        self._stop.set()
+        deadline = Deadline(max(timeout_s, 1e-9), clock=time.monotonic)
+        for t in self._threads:
+            t.join(timeout=deadline.remaining())
+        abandoned = sum(1 for t in self._threads if t.is_alive())
+        if abandoned:
+            record_event("jobs.abandoned_on_stop", abandoned)
+        self._threads = []
+
+    def run_until_idle(self, *, worker_id: str = "inline", max_jobs: int | None = None) -> int:
+        """Drain the queue on the calling thread (CLI / tests); returns count."""
+        done = 0
+        while max_jobs is None or done < max_jobs:
+            job = self.scheduler.acquire(worker_id)
+            if job is None:
+                break
+            self._execute(job, worker_id)
+            done += 1
+        return done
+
+    # -- the worker loop ------------------------------------------------------
+
+    def _worker_loop(self, worker_id: str) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self.scheduler.acquire(worker_id)
+            except Exception:  # journal IO trouble: back off, keep serving
+                record_event("jobs.scheduler_errors")
+                self._stop.wait(self.poll_s * 5)
+                continue
+            if job is None:
+                self._stop.wait(self.poll_s)
+                continue
+            self._execute(job, worker_id)
+
+    def _execute(self, job: JobRecord, worker_id: str) -> None:
+        tracer = Tracer(f"job:{job.job_id}")
+        root = tracer.begin("job.run", job=job.job_id, kind=job.kind, attempt=job.attempt)
+        registry = get_registry()
+        t0 = time.perf_counter()
+        budget = job.params.get("deadline_s")
+        guard = JobGuard(
+            self.store, job.job_id, Deadline(float(budget)) if budget else None
+        )
+        spans: list = []
+
+        def finish(error: BaseException | None = None) -> list:
+            tracer.finish(root, error=error)
+            tracer.close()
+            exported = export_spans(tracer)
+            if self.tracer is not None:
+                # Adopt the job's span tree into the server trace so one
+                # timeline shows requests and the background work they spawned.
+                self.tracer.adopt(exported, tid=job.submit_seq, job=job.job_id)
+            registry.histogram("repro_jobs_duration_seconds", kind=job.kind).observe(
+                time.perf_counter() - t0
+            )
+            return exported
+
+        try:
+            self.scheduler.started(job.job_id, worker_id)
+        except JobError:
+            finish()
+            return  # lease lost between acquire and start; someone else owns it
+        def report(outcome: Callable[[], object]) -> None:
+            # A lease reclaimed mid-run means another attempt owns the job
+            # now; our terminal report must yield, not crash the worker loop.
+            try:
+                outcome()
+            except JobError:
+                record_event("jobs.stale_reports")
+
+        try:
+            with request_scope(guard):
+                handler = self._dispatch.get(job.kind)
+                if handler is None:
+                    raise JobError(f"no runner for job kind {job.kind!r}")
+                result = handler(job, worker_id, guard, tracer)
+        except JobCancelledError:
+            spans = finish()
+            report(lambda: self.scheduler.cancelled(job.job_id, worker_id, spans=spans))
+        except DeadlineExceededError as exc:
+            spans = finish(exc)
+            report(
+                lambda: self.scheduler.fail(
+                    job.job_id,
+                    worker_id,
+                    {"type": type(exc).__name__, "error": str(exc)},
+                    retryable=False,  # the job's own budget is spent; retry won't fit either
+                    spans=spans,
+                )
+            )
+        except ReproError as exc:
+            spans = finish(exc)
+            report(
+                lambda: self.scheduler.fail(
+                    job.job_id,
+                    worker_id,
+                    {"type": type(exc).__name__, "error": str(exc)},
+                    retryable=True,
+                    spans=spans,
+                )
+            )
+        except Exception as exc:  # a runner bug: terminal, keep the traceback
+            spans = finish(exc)
+            report(
+                lambda: self.scheduler.fail(
+                    job.job_id,
+                    worker_id,
+                    {
+                        "type": type(exc).__name__,
+                        "error": str(exc),
+                        "traceback": traceback.format_exc(limit=10),
+                    },
+                    retryable=False,
+                    spans=spans,
+                )
+            )
+        else:
+            spans = finish()
+            report(lambda: self.scheduler.complete(job.job_id, worker_id, result, spans=spans))
+
+    def _progress(self, job: JobRecord, worker_id: str, done: int, total: int, **extra) -> None:
+        """One progress tick: journal an event and extend the lease."""
+        progress = {"done": int(done), "total": int(total), **extra}
+        self.store.append_event(job.job_id, "progress", **progress)
+        if self.scheduler.heartbeat(job.job_id, worker_id, progress=progress) is None:
+            # The lease was reclaimed from under us (e.g. a long GC pause):
+            # stop quietly; the reclaimed attempt owns the job now.
+            raise JobCancelledError(f"job {job.job_id} lease lost at {done}/{total}")
+
+    # -- payloads -------------------------------------------------------------
+
+    def _run_segment_volume(
+        self, job: JobRecord, worker_id: str, guard: JobGuard, tracer: Tracer
+    ) -> dict:
+        """Checkpointed, pool-decoded Mode B; resume is bit-identical."""
+        params = job.params
+        if not job.input_path:
+            raise JobError("segment_volume job has no input_path volume snapshot")
+        try:
+            voxels = np.load(job.input_path, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise JobError(f"cannot read job input {job.input_path}: {exc}") from exc
+        if voxels.ndim != 3:
+            raise JobError(f"job input must be a 3-D volume, got shape {voxels.shape}")
+        prompt = str(params.get("prompt", ""))
+        temporal = bool(params.get("temporal", True))
+        n_decode_workers = max(1, int(params.get("n_workers", 1)))
+        round_size = max(1, int(params.get("round_slices", 1)))
+        config = ZenesisConfig()
+        pipeline = _memo_pipeline(config)
+        n = voxels.shape[0]
+        plan = get_fault_plan()
+
+        # Same fingerprint recipe as ZenesisPipeline.segment_volume, so the
+        # shards are interchangeable with the CLI --checkpoint-dir path.
+        fingerprint = combine_keys(
+            array_content_key(voxels),
+            repr(prompt),
+            config_fingerprint(config),
+            f"temporal={temporal}",
+        )
+        ckpt = CheckpointManager(
+            job.checkpoint_dir,
+            fingerprint=fingerprint,
+            n_slices=n,
+            meta={"job_id": job.job_id, "prompt": prompt},
+        )
+        done = ckpt.load(resume=True)
+        if done:
+            record_event("checkpoint.resumed_slices", len(done))
+            get_registry().counter("repro_jobs_resumed_slices_total").inc(len(done))
+        self._progress(job, worker_id, len(done), n, phase="prepare")
+
+        # Prepare: adapt + ground every slice (deterministic, cached), then
+        # refine boxes over the FULL sequence — resume must see the same
+        # temporal context an uninterrupted run saw.
+        detections = []
+        span = tracer.begin("job.prepare", n_slices=n)
+        for z in range(n):
+            guard.check(f"segment_volume job (prepare slice {z})")
+            det_img, _ = pipeline.adapt(voxels[z])
+            detections.append(pipeline.ground(det_img, prompt, slice_index=z))
+        per_slice_boxes = [d.boxes for d in detections]
+        refinement = {"n_slices": n}
+        if temporal:
+            from ..core.temporal import refine_box_sequences
+
+            per_slice_boxes, report = refine_box_sequences(
+                per_slice_boxes, config.temporal, image_shape=voxels.shape[1:]
+            )
+            refinement = report.as_dict()
+        tracer.finish(span)
+
+        masks = np.zeros(voxels.shape, dtype=bool)
+        for z in sorted(done):
+            masks[z] = np.asarray(ckpt.load_slice(z), dtype=bool)
+        remaining = [z for z in range(n) if z not in done]
+
+        # Decode in rounds through the shared-memory process pool; the
+        # coordinator checkpoints every slice of a finished round, so a kill
+        # loses at most one round of work.
+        span = tracer.begin("job.decode", n_remaining=len(remaining))
+        with SharedNDArray.from_array(voxels) as vol_shm, SharedNDArray.create(
+            voxels.shape, np.bool_
+        ) as out_shm:
+            completed = len(done)
+            while remaining:
+                round_z = tuple(remaining[: n_decode_workers * round_size])
+                remaining = remaining[len(round_z) :]
+                guard.check(f"segment_volume job (round at slice {round_z[0]})")
+                plan.crash_if("job_crash", slice=round_z[0])
+                partitions = block_partition(len(round_z), n_decode_workers)
+                round_boxes = tuple(per_slice_boxes[z] for z in round_z)
+                run_partitioned(
+                    _decode_round,
+                    partitions,
+                    vol_shm.spec,
+                    out_shm.spec,
+                    round_z,
+                    round_boxes,
+                    config,
+                    prompt,
+                    timeout_s=guard.clamp(self.decode_timeout_s),
+                )
+                for z in round_z:
+                    mask = np.array(out_shm.array[z], dtype=bool, copy=True)
+                    masks[z] = mask
+                    ckpt.save_slice(z, mask)
+                    completed += 1
+                    get_registry().counter("repro_jobs_slices_total").inc()
+                self._progress(job, worker_id, completed, n, phase="decode")
+        tracer.finish(span)
+        ckpt.finalize()
+
+        out_path = self.store.result_path(job.job_id)
+        np.savez_compressed(out_path, masks=masks)
+        return {
+            "n_slices": n,
+            "volume_fraction": float(masks.mean()),
+            "per_slice_coverage": [float(m.mean()) for m in masks],
+            "refinement": refinement,
+            "resumed_slices": int(len(done)),
+            "masks_path": str(out_path),
+            "masks_key": array_content_key(masks),
+        }
+
+    def _run_evaluate(self, job: JobRecord, worker_id: str, guard: JobGuard, tracer: Tracer) -> dict:
+        """Mode C on the built-in benchmark, mirroring the sync API action."""
+        from ..data.datasets import make_benchmark_dataset
+        from ..eval.evaluator import Evaluator
+        from ..eval.experiments import ExperimentSetup, build_methods
+
+        params = job.params
+        shape = tuple(params.get("shape", (128, 128)))
+        n_slices = int(params.get("n_slices", 3))
+        methods = list(params.get("methods", ["otsu"]))
+        guard.check("evaluate job (setup)")
+        self._progress(job, worker_id, 0, len(methods), phase="evaluate")
+        setup = ExperimentSetup(dataset=make_benchmark_dataset(shape=shape, n_slices=n_slices))
+        evaluator = Evaluator(build_methods(setup))
+        out: dict = {}
+        for i, name in enumerate(methods):
+            guard.check(f"evaluate job (method {name})")
+            evaluations = evaluator.evaluate(setup.dataset.slices, method_names=[name])
+            ev = evaluations[name]
+            out[name] = {
+                kind: {m: s.as_dict() for m, s in ev.summary(kind).items()} for kind in ev.kinds()
+            }
+            self._progress(job, worker_id, i + 1, len(methods), phase="evaluate", method=name)
+        return {"evaluations": out, "methods": methods}
+
+    def _run_synthesize(self, job: JobRecord, worker_id: str, guard: JobGuard, tracer: Tracer) -> dict:
+        """Generate a synthetic FIB-SEM acquisition into the results dir."""
+        from ..data.datasets import make_sample
+        from ..io.volume_io import save_volume_bundle
+
+        params = job.params
+        kind = str(params.get("sample_kind", "crystalline"))
+        seed = int(params.get("seed", 0))
+        size = int(params.get("size", 128))
+        n_slices = int(params.get("n_slices", 4))
+        guard.check("synthesize job")
+        self._progress(job, worker_id, 0, 1, phase="synthesize")
+        sample = make_sample(kind, seed=seed, shape=(size, size), n_slices=n_slices)
+        out_path = self.store.result_path(job.job_id)
+        save_volume_bundle(
+            out_path,
+            sample.volume.voxels,
+            sample.catalyst_mask,
+            {"kind": kind, "seed": seed, "job_id": job.job_id},
+        )
+        self._progress(job, worker_id, 1, 1, phase="synthesize")
+        return {
+            "sample_kind": kind,
+            "shape": list(sample.volume.shape),
+            "catalyst_fraction": float(sample.catalyst_mask.mean()),
+            "out_path": str(out_path),
+        }

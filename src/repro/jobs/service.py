@@ -1,0 +1,215 @@
+"""The job façade the platform, CLI, and tests share.
+
+:class:`JobService` wires a :class:`~repro.jobs.store.JobStore`,
+:class:`~repro.jobs.scheduler.JobScheduler`, and
+:class:`~repro.jobs.runner.JobRunner` over one jobs directory and exposes
+the five client verbs (submit / status / result / events / cancel) plus the
+operator verbs (gc, snapshot, start/stop workers).
+
+Inputs are made durable at submit time: ``submit_segment_volume`` snapshots
+the voxel array into ``jobs/inputs/`` before the job is journaled, so the
+job survives the session (and the server) that created it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..errors import JobError
+from ..observability.trace import Tracer
+from ..resilience.events import record_event
+from ..resilience.policy import RetryPolicy
+from .model import TERMINAL_STATES, JobRecord
+from .runner import JobRunner
+from .scheduler import JobScheduler
+from .store import JobStore
+
+__all__ = ["JobService"]
+
+
+class JobService:
+    """One jobs directory, fully wired: persistence, scheduling, execution."""
+
+    def __init__(
+        self,
+        jobs_dir: Path | str,
+        *,
+        n_workers: int = 1,
+        lease_ttl_s: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.store = JobStore(jobs_dir, clock=clock)
+        self.scheduler = JobScheduler(
+            self.store, lease_ttl_s=lease_ttl_s, retry_policy=retry_policy, clock=clock
+        )
+        self.runner = JobRunner(self.scheduler, self.store, n_workers=n_workers, tracer=tracer)
+        self._clock = clock
+
+    # -- worker lifecycle ------------------------------------------------------
+
+    def start(self) -> "JobService":
+        self.runner.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self.runner.stop(timeout_s=timeout_s)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: dict | None = None,
+        *,
+        priority: int = 0,
+        max_attempts: int | None = None,
+        session_id: str | None = None,
+        input_path: str | None = None,
+    ) -> JobRecord:
+        """Queue a job of any known kind; see :meth:`submit_segment_volume`."""
+        return self.scheduler.submit(
+            kind,
+            params,
+            priority=priority,
+            max_attempts=max_attempts,
+            session_id=session_id,
+            input_path=input_path,
+        )
+
+    def submit_segment_volume(
+        self,
+        voxels: np.ndarray,
+        prompt: str,
+        *,
+        temporal: bool = True,
+        n_workers: int = 1,
+        round_slices: int = 1,
+        deadline_s: float | None = None,
+        priority: int = 0,
+        max_attempts: int | None = None,
+        session_id: str | None = None,
+    ) -> JobRecord:
+        """Snapshot the volume to durable storage and queue a Mode B job.
+
+        The snapshot is written *before* the job is journaled (a crash in
+        between leaves an orphan file, cleaned by :meth:`gc` — never a job
+        pointing at a missing input).
+        """
+        voxels = np.asarray(voxels)
+        if voxels.ndim != 3:
+            raise JobError(f"segment_volume jobs need a 3-D volume, got shape {voxels.shape}")
+        snap = self.store.input_path(f"vol-{os.urandom(6).hex()}")
+        np.save(snap, voxels, allow_pickle=False)
+        params = {
+            "prompt": str(prompt),
+            "temporal": bool(temporal),
+            "n_workers": int(n_workers),
+            "round_slices": int(round_slices),
+        }
+        if deadline_s is not None:
+            params["deadline_s"] = float(deadline_s)
+        return self.submit(
+            "segment_volume",
+            params,
+            priority=priority,
+            max_attempts=max_attempts,
+            session_id=session_id,
+            input_path=str(snap),
+        )
+
+    # -- client verbs ----------------------------------------------------------
+
+    def status(self, job_id: str) -> dict:
+        """The public view of one job (refreshes from the journal first)."""
+        self.store.refresh()
+        return self.store.get(job_id).public_view()
+
+    def result(self, job_id: str) -> dict:
+        """Terminal outcome: result payload, structured error, or not-done."""
+        self.store.refresh()
+        rec = self.store.get(job_id)
+        out = {"job_id": rec.job_id, "state": rec.state, "done": rec.terminal}
+        if rec.result is not None:
+            out["result"] = dict(rec.result)
+        if rec.error is not None:
+            out["error"] = dict(rec.error)
+        return out
+
+    def events(self, job_id: str, cursor: int = 0, limit: int | None = None) -> dict:
+        """Progress events past ``cursor`` plus the monotone next cursor."""
+        self.store.refresh()
+        events, next_cursor = self.store.events_after(job_id, cursor=cursor, limit=limit)
+        return {"job_id": job_id, "events": events, "cursor": next_cursor}
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job: immediate when queued, cooperative when running."""
+        return self.scheduler.cancel(job_id).public_view()
+
+    def wait(self, job_id: str, *, timeout_s: float = 60.0, poll_s: float = 0.05) -> dict:
+        """Block until the job is terminal (tests / CLI watch); returns status."""
+        t0 = time.monotonic()
+        while True:
+            self.store.refresh()
+            self.scheduler.reclaim_expired()
+            rec = self.store.get(job_id)
+            if rec.terminal:
+                return rec.public_view()
+            if time.monotonic() - t0 > timeout_s:
+                raise JobError(f"timed out waiting {timeout_s}s for job {job_id} ({rec.state})")
+            time.sleep(poll_s)
+
+    # -- operator verbs --------------------------------------------------------
+
+    def gc(self, *, max_age_s: float = 24 * 3600.0) -> dict:
+        """Delete terminal jobs (and their artifacts) older than ``max_age_s``.
+
+        Also sweeps orphaned input snapshots no live job references — the
+        residue of a crash between input save and journal append.
+        """
+        self.store.refresh()
+        now = self._clock()
+        removed = []
+        for rec in self.store.list_jobs(states=TERMINAL_STATES):
+            if now - rec.updated_at < max_age_s:
+                continue
+            self._delete_artifacts(rec)
+            self.store.remove(rec.job_id)
+            removed.append(rec.job_id)
+        referenced = {r.input_path for r in self.store.list_jobs() if r.input_path}
+        orphans = 0
+        for path in (self.store.root / "inputs").iterdir():
+            if str(path) not in referenced:
+                path.unlink(missing_ok=True)
+                orphans += 1
+        self.store.compact()
+        if removed or orphans:
+            record_event("jobs.gc_removed", len(removed) + orphans)
+        return {"removed": removed, "orphan_inputs": orphans}
+
+    def _delete_artifacts(self, rec: JobRecord) -> None:
+        if rec.input_path:
+            Path(rec.input_path).unlink(missing_ok=True)
+        self.store.result_path(rec.job_id).unlink(missing_ok=True)
+        if rec.checkpoint_dir:
+            shutil.rmtree(rec.checkpoint_dir, ignore_errors=True)
+
+    def snapshot(self) -> dict:
+        """Queue overview for the dashboard / metrics: counts + recent jobs."""
+        self.store.refresh()
+        jobs = self.store.list_jobs()
+        by_state: dict[str, int] = {}
+        for rec in jobs:
+            by_state[rec.state] = by_state.get(rec.state, 0) + 1
+        return {
+            "total": len(jobs),
+            "by_state": by_state,
+            "jobs": [rec.public_view() for rec in jobs[-20:]],
+        }

@@ -11,7 +11,17 @@ Actions
 (base64 npy or nested-list upload), ``preview``, ``select_slice``,
 ``segment`` (Mode A), ``rectify``, ``further_segment``,
 ``segment_volume`` (Mode B), ``evaluate`` (Mode C), ``dashboard``,
-``adapt_spec`` (custom adaptation pipelines), ``mask_png`` (render export).
+``adapt_spec`` (custom adaptation pipelines), ``mask_png`` (render export),
+``job_submit`` / ``job_status`` / ``job_result`` / ``job_events`` /
+``job_cancel`` (durable background jobs; see :mod:`repro.jobs`).
+
+Async contract: when a :class:`~repro.jobs.JobService` is attached,
+``segment_volume`` on a volume of ``auto_job_slices`` slices or more is
+*redirected* to a background job — the response carries ``accepted: true``
+plus a ``job_id`` (the HTTP layer maps it to a 202) instead of blocking the
+request thread for minutes.  ``mode: "sync"`` / ``mode: "async"`` override
+the size heuristic per request.  Jobs snapshot their inputs at submit time,
+so they outlive the session that spawned them.
 
 Serving contract: session-bound actions run with the session's lock held
 (concurrent requests on one session serialize; distinct sessions run in
@@ -36,7 +46,7 @@ import numpy as np
 from ..adapt.pipeline import AdaptationPipeline
 from ..core.prompts import SpatialHints
 from ..data.datasets import make_benchmark_dataset
-from ..errors import FormatError, ReproError, UnknownSessionError, ValidationError
+from ..errors import FormatError, JobError, ReproError, UnknownSessionError, ValidationError
 from ..eval.dashboard import render_dashboard
 from ..eval.evaluator import Evaluator
 from ..eval.experiments import ExperimentSetup, build_methods
@@ -56,6 +66,8 @@ class ApiHandler:
         store: SessionStore | None = None,
         *,
         request_deadline_s: float | None = None,
+        jobs=None,
+        auto_job_slices: int | None = None,
     ) -> None:
         # ``is not None``, not truthiness: an empty SessionStore has
         # ``len() == 0`` and must not be silently replaced.
@@ -66,6 +78,10 @@ class ApiHandler:
             self.store.breakers = default_breakers()
         self.breakers = self.store.breakers
         self.request_deadline_s = request_deadline_s
+        #: Optional :class:`repro.jobs.JobService`; None disables job actions.
+        self.jobs = jobs
+        #: Volumes with at least this many slices go async (None: never).
+        self.auto_job_slices = auto_job_slices
         self._actions: dict[str, Callable[[dict], dict]] = {
             "create_session": self._create_session,
             "drop_session": self._drop_session,
@@ -84,6 +100,11 @@ class ApiHandler:
             "segment_multi": self._segment_multi,
             "propagate_volume": self._propagate_volume,
             "calibrate_concept": self._calibrate_concept,
+            "job_submit": self._job_submit,
+            "job_status": self._job_status,
+            "job_result": self._job_result,
+            "job_events": self._job_events,
+            "job_cancel": self._job_cancel,
         }
 
     # -- dispatch -----------------------------------------------------------
@@ -217,6 +238,18 @@ class ApiHandler:
 
     def _segment_volume(self, request: dict) -> dict:
         session = self._session(request)
+        mode = request.get("mode")  # None | "sync" | "async"
+        if mode not in (None, "sync", "async"):
+            raise ValidationError(f"mode must be 'sync' or 'async', got {mode!r}")
+        n_slices = session.volume.shape[0] if session.volume is not None else 0
+        go_async = mode == "async" or (
+            mode is None
+            and self.jobs is not None
+            and self.auto_job_slices is not None
+            and n_slices >= self.auto_job_slices
+        )
+        if go_async:
+            return self._submit_volume_job(session, request, redirected=mode is None)
         result = session.segment_volume(
             str(request["prompt"]), temporal=bool(request.get("temporal", True))
         )
@@ -226,6 +259,70 @@ class ApiHandler:
             "refinement": result.refinement_report,
             "per_slice_coverage": [float(m.mean()) for m in result.masks],
         }
+
+    # -- background jobs -------------------------------------------------------
+
+    def _require_jobs(self):
+        if self.jobs is None:
+            raise JobError(
+                "background jobs are disabled on this server "
+                "(start the server with a jobs directory)"
+            )
+        return self.jobs
+
+    def _submit_volume_job(self, session: Session, request: dict, *, redirected: bool) -> dict:
+        """Turn a segment_volume request into a durable background job."""
+        jobs = self._require_jobs()
+        if session.volume is None:
+            raise JobError("segment_volume jobs require a loaded volume")
+        job = jobs.submit_segment_volume(
+            session.volume.voxels,
+            str(request["prompt"]),
+            temporal=bool(request.get("temporal", True)),
+            n_workers=int(request.get("n_workers", 1)),
+            deadline_s=request.get("job_deadline_s"),
+            priority=int(request.get("priority", 0)),
+            session_id=session.session_id,
+        )
+        session.job_ids.append(job.job_id)
+        session.history.append({"action": "job_submit", "job_id": job.job_id, "kind": job.kind})
+        return {"accepted": True, "job_id": job.job_id, "job": job.public_view(), "redirected": redirected}
+
+    def _job_submit(self, request: dict) -> dict:
+        """Explicit submit of any job kind; ``accepted: true`` maps to 202."""
+        jobs = self._require_jobs()
+        kind = str(request.get("kind", "segment_volume"))
+        if kind == "segment_volume":
+            return self._submit_volume_job(self._session(request), request, redirected=False)
+        session_id = request.get("session_id")
+        job = jobs.submit(
+            kind,
+            dict(request.get("params", {})),
+            priority=int(request.get("priority", 0)),
+            session_id=str(session_id) if session_id is not None else None,
+        )
+        if session_id is not None:
+            session = self._session(request)
+            session.job_ids.append(job.job_id)
+            session.history.append({"action": "job_submit", "job_id": job.job_id, "kind": kind})
+        return {"accepted": True, "job_id": job.job_id, "job": job.public_view()}
+
+    def _job_status(self, request: dict) -> dict:
+        return {"job": self._require_jobs().status(str(request["job_id"]))}
+
+    def _job_result(self, request: dict) -> dict:
+        return self._require_jobs().result(str(request["job_id"]))
+
+    def _job_events(self, request: dict) -> dict:
+        """Incremental progress: events past ``cursor`` + the next cursor."""
+        return self._require_jobs().events(
+            str(request["job_id"]),
+            cursor=int(request.get("cursor", 0)),
+            limit=int(request["limit"]) if "limit" in request else None,
+        )
+
+    def _job_cancel(self, request: dict) -> dict:
+        return {"job": self._require_jobs().cancel(str(request["job_id"]))}
 
     def _evaluate(self, request: dict) -> dict:
         """Mode C on the built-in benchmark (or a reduced variant)."""
@@ -252,6 +349,7 @@ class ApiHandler:
             "html": render_dashboard(
                 evaluations,
                 serving=serving_snapshot(breakers=self.breakers, store=self.store),
+                jobs=self.jobs.snapshot() if self.jobs is not None else None,
             )
         }
 

@@ -201,6 +201,11 @@ def _make_handler(
             if not response.get("ok", True):
                 code = _STATUS_BY_TYPE.get(response.get("type"), 200)
                 status = str(code) if code != 200 else "error"
+            elif response.get("accepted"):
+                # A job submission (or an auto-redirected segment_volume):
+                # the work continues in the background — 202, not 200.
+                code = 202
+                status = "202"
             registry.counter("repro_server_requests_total", action=action, status=status).inc()
             span.set(status=status)
             tracer.finish(span)
@@ -232,12 +237,35 @@ class PlatformServer:
         request_deadline_s: float | None = None,
         max_sessions: int = 64,
         session_ttl_s: float | None = None,
+        jobs_dir: str | None = None,
+        job_workers: int = 1,
+        job_lease_ttl_s: float = 30.0,
+        auto_job_slices: int | None = None,
     ) -> None:
+        #: The server's own trace: one ``server.request`` span per POST,
+        #: with background-job span trees adopted as they finish.
+        self.tracer = Tracer("server")
+        self.jobs = None
+        if jobs_dir is not None:
+            from ..jobs import JobService
+
+            self.jobs = JobService(
+                jobs_dir,
+                n_workers=job_workers,
+                lease_ttl_s=job_lease_ttl_s,
+                tracer=self.tracer,
+            )
         if api is None:
             api = ApiHandler(
                 SessionStore(max_sessions=max_sessions, ttl_s=session_ttl_s),
                 request_deadline_s=request_deadline_s,
+                jobs=self.jobs,
+                auto_job_slices=auto_job_slices,
             )
+        elif self.jobs is not None and getattr(api, "jobs", None) is None:
+            api.jobs = self.jobs
+            if auto_job_slices is not None:
+                api.auto_job_slices = auto_job_slices
         self.api = api
         self.gate = AdmissionGate(
             max_inflight, max_queue=max_queue, queue_timeout_s=queue_timeout_s
@@ -245,8 +273,6 @@ class PlatformServer:
         self.lifecycle = ServerLifecycle()
         self.drain_timeout_s = float(drain_timeout_s)
         self._state: dict = {"ready": False}
-        #: The server's own trace: one ``server.request`` span per POST.
-        self.tracer = Tracer("server")
         self.httpd = _PlatformHTTPServer(
             (host, port),
             _make_handler(
@@ -272,6 +298,8 @@ class PlatformServer:
         self.lifecycle.reset()
         self._thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
         self._thread.start()
+        if self.jobs is not None:
+            self.jobs.start()
         self._state["ready"] = True
         return self
 
@@ -287,6 +315,10 @@ class PlatformServer:
         self._state["ready"] = False
         self.lifecycle.begin_drain()
         self.lifecycle.wait_idle(self.drain_timeout_s)
+        if self.jobs is not None:
+            # Stop leasing new jobs; a job still running past the window is
+            # abandoned and reclaimed via lease expiry on the next start.
+            self.jobs.stop(timeout_s=self.drain_timeout_s)
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:

@@ -88,6 +88,11 @@ class Session:
     breakers: Mapping[str, Any] = field(default_factory=dict, repr=False)
     #: Last successful grounding — the degraded path's best fallback.
     last_good_detection: Detection | None = None
+    #: Background jobs this session submitted.  Provenance only: the job
+    #: subsystem snapshots its inputs at submit time, so these jobs keep
+    #: running (and their results stay fetchable) after the session is
+    #: dropped or evicted.
+    job_ids: list[str] = field(default_factory=list)
     #: Store bookkeeping: last-touch timestamp for TTL eviction.
     last_used: float = field(default=0.0, repr=False)
 

@@ -26,6 +26,14 @@ Supported kinds (hook sites in parentheses):
 ``sam_error``        raise :class:`~repro.errors.PipelineError` in the SAM
                      decode stage of the same path (SAM breaker /
                      relevance-mask fallback).
+``job_crash``        hard-exit the process at the start of a background
+                     job's decode round (``slice=N`` matches the round's
+                     first slice) — the job-queue twin of ``volume_crash``,
+                     exercising lease reclaim + checkpoint resume.
+``journal_torn``     write half a job-journal line then hard-exit
+                     (``line=N`` matches the Nth append of the process) —
+                     a power cut mid-append, exercising torn-tail recovery
+                     in :class:`repro.jobs.JobStore`.
 
 Conditions: ``slice=N`` / ``worker=N`` match the hook's context, ``p=F``
 fires probabilistically (deterministic per-rule RNG stream), ``times=N``

@@ -1,0 +1,336 @@
+"""Platform wiring of repro.jobs: API actions, HTTP 202s, crash acceptance.
+
+The acceptance test at the bottom is the ISSUE's end-to-end scenario: a
+``segment_volume`` job submitted over HTTP, the serving process hard-killed
+mid-decode, the server restarted on the same jobs directory — the job must
+be reclaimed after lease expiry and complete *bit-identically* to an
+uninterrupted synchronous run.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cache import array_content_key
+from repro.core.pipeline import ZenesisPipeline
+from repro.jobs import CANCELLED, QUEUED, SUCCEEDED, JobService
+from repro.platform.api import ApiHandler
+from repro.platform.server import PlatformServer
+
+PROMPT = "dark catalyst particles"
+
+
+def _volume(n_slices: int = 3, edge: int = 64) -> np.ndarray:
+    return repro.make_sample("crystalline", shape=(edge, edge), n_slices=n_slices).volume.voxels
+
+
+def _npy_b64(arr: np.ndarray) -> str:
+    buf = io.BytesIO()
+    np.save(buf, arr, allow_pickle=False)
+    return base64.b64encode(buf.getvalue()).decode()
+
+
+@pytest.fixture()
+def api(tmp_path):
+    return ApiHandler(jobs=JobService(tmp_path / "jobs"), auto_job_slices=3)
+
+
+def _loaded_session(api: ApiHandler, vol: np.ndarray) -> str:
+    sid = api.handle({"action": "create_session"})["session_id"]
+    r = api.handle(
+        {"action": "load_array", "session_id": sid, "data_base64": _npy_b64(vol), "modality": "fibsem"}
+    )
+    assert r["ok"], r
+    return sid
+
+
+class TestJobActions:
+    def test_job_submit_runs_and_reports(self, api):
+        r = api.handle({"action": "job_submit", "kind": "synthesize", "params": {"size": 32, "n_slices": 1}})
+        assert r["ok"] and r["accepted"] and r["job"]["state"] == QUEUED
+        job_id = r["job_id"]
+        api.jobs.runner.run_until_idle()
+        status = api.handle({"action": "job_status", "job_id": job_id})
+        assert status["ok"] and status["job"]["state"] == SUCCEEDED
+        result = api.handle({"action": "job_result", "job_id": job_id})
+        assert result["done"] and result["result"]["sample_kind"] == "crystalline"
+
+    def test_job_actions_disabled_without_service(self):
+        bare = ApiHandler()
+        for action in ("job_submit", "job_status", "job_result", "job_events", "job_cancel"):
+            r = bare.handle({"action": action, "job_id": "j000001-abc"})
+            assert not r["ok"] and r["type"] == "JobError" and "disabled" in r["error"]
+
+    def test_unknown_job_id_error_shape(self, api):
+        r = api.handle({"action": "job_status", "job_id": "j999999-nope"})
+        assert not r["ok"] and r["type"] == "UnknownJobError"
+
+    def test_job_events_pagination(self, api):
+        r = api.handle({"action": "job_submit", "kind": "synthesize", "params": {"size": 32}})
+        api.jobs.runner.run_until_idle()
+        first = api.handle({"action": "job_events", "job_id": r["job_id"], "limit": 2})
+        rest = api.handle({"action": "job_events", "job_id": r["job_id"], "cursor": first["cursor"]})
+        seqs = [e["seq"] for e in first["events"] + rest["events"]]
+        assert len(first["events"]) == 2 and seqs == list(range(1, len(seqs) + 1))
+
+    def test_job_cancel_action(self, api):
+        r = api.handle({"action": "job_submit", "kind": "evaluate", "params": {}})
+        c = api.handle({"action": "job_cancel", "job_id": r["job_id"]})
+        assert c["ok"] and c["job"]["state"] == CANCELLED
+
+    def test_segment_volume_auto_redirects_above_threshold(self, api):
+        vol = _volume(4)  # >= auto_job_slices=3
+        sid = _loaded_session(api, vol)
+        r = api.handle({"action": "segment_volume", "session_id": sid, "prompt": PROMPT})
+        assert r["ok"] and r["accepted"] and r["redirected"]
+        assert api.jobs.status(r["job_id"])["session_id"] == sid
+
+    def test_segment_volume_mode_sync_forces_inline(self, api):
+        sid = _loaded_session(api, _volume(3))
+        r = api.handle(
+            {"action": "segment_volume", "session_id": sid, "prompt": PROMPT, "mode": "sync"}
+        )
+        assert r["ok"] and "accepted" not in r and r["n_slices"] == 3
+
+    def test_segment_volume_below_threshold_stays_sync(self, api):
+        sid = _loaded_session(api, _volume(2))
+        r = api.handle({"action": "segment_volume", "session_id": sid, "prompt": PROMPT})
+        assert r["ok"] and "accepted" not in r and r["n_slices"] == 2
+
+    def test_sync_segment_volume_honors_deadline_per_slice(self, api):
+        """Satellite: the sync path checks the request deadline between
+        slices, so an expired budget surfaces promptly as a structured 504
+        error instead of after the whole volume."""
+        sid = _loaded_session(api, _volume(2))
+        r = api.handle(
+            {
+                "action": "segment_volume",
+                "session_id": sid,
+                "prompt": PROMPT,
+                "mode": "sync",
+                "deadline_s": 0.001,
+            }
+        )
+        assert not r["ok"] and r["type"] == "DeadlineExceededError"
+        assert "segment_volume" in r["error"]
+
+    def test_segment_volume_bad_mode_rejected(self, api):
+        sid = _loaded_session(api, _volume(2))
+        r = api.handle({"action": "segment_volume", "session_id": sid, "prompt": PROMPT, "mode": "wat"})
+        assert not r["ok"] and r["type"] == "ValidationError"
+
+    def test_async_job_result_matches_sync_run(self, api):
+        vol = _volume(3)
+        sid = _loaded_session(api, vol)
+        r = api.handle(
+            {"action": "segment_volume", "session_id": sid, "prompt": PROMPT, "mode": "async"}
+        )
+        assert r["accepted"] and not r["redirected"]
+        api.jobs.runner.run_until_idle()
+        result = api.handle({"action": "job_result", "job_id": r["job_id"]})
+        baseline = ZenesisPipeline().segment_volume(vol, PROMPT).masks
+        assert result["state"] == SUCCEEDED
+        assert result["result"]["masks_key"] == array_content_key(baseline)
+
+    def test_job_outlives_session_eviction(self, api):
+        """Dropping the submitting session must not touch the job."""
+        sid = _loaded_session(api, _volume(3))
+        r = api.handle(
+            {"action": "segment_volume", "session_id": sid, "prompt": PROMPT, "mode": "async"}
+        )
+        api.handle({"action": "drop_session", "session_id": sid})
+        assert not api.handle({"action": "preview", "session_id": sid})["ok"]
+        api.jobs.runner.run_until_idle()
+        status = api.handle({"action": "job_status", "job_id": r["job_id"]})
+        assert status["ok"] and status["job"]["state"] == SUCCEEDED
+
+    def test_dashboard_renders_jobs_card(self, api):
+        api.handle({"action": "job_submit", "kind": "synthesize", "params": {"size": 32}})
+        api.jobs.runner.run_until_idle()
+        assert api.handle({"action": "evaluate", "shape": [64, 64], "n_slices": 1, "methods": ["otsu"]})["ok"]
+        html = api.handle({"action": "dashboard"})["html"]
+        assert "Background jobs" in html and "synthesize" in html
+
+
+# -- HTTP layer ----------------------------------------------------------------
+
+
+def _post(url: str, payload: dict, timeout: float = 60.0) -> tuple[int, dict]:
+    req = urllib.request.Request(
+        url + "/api", data=json.dumps(payload).encode(), headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestServerJobsHttp:
+    def test_metrics_content_type_and_exposition_parse(self, tmp_path):
+        """Satellite: GET /metrics speaks Prometheus text exposition 0.0.4."""
+        with PlatformServer(jobs_dir=str(tmp_path / "jobs")) as srv:
+            _post(srv.url, {"action": "create_session"})
+            with urllib.request.urlopen(srv.url + "/metrics", timeout=10) as resp:
+                ctype = resp.headers.get("Content-Type", "")
+                body = resp.read().decode()
+        assert ctype.startswith("text/plain; version=0.0.4")
+        sample_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+( \d+)?$")
+        samples = 0
+        for line in body.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE ")), line
+                continue
+            assert sample_re.match(line), f"unparseable sample line: {line!r}"
+            float(line.rsplit("{", 1)[-1].rsplit(" ", 1)[-1] if "{" in line else line.split(" ")[1])
+            samples += 1
+        assert samples > 0
+        assert "repro_server_requests_total" in body
+
+    def test_http_submit_202_poll_events_result(self, tmp_path):
+        vol = _volume(2)
+        baseline = ZenesisPipeline().segment_volume(vol, PROMPT).masks
+        srv = PlatformServer(
+            jobs_dir=str(tmp_path / "jobs"), job_workers=1, auto_job_slices=1
+        )
+        with srv:
+            code, r = _post(srv.url, {"action": "create_session"})
+            sid = r["session_id"]
+            code, r = _post(
+                srv.url,
+                {"action": "load_array", "session_id": sid, "data_base64": _npy_b64(vol), "modality": "fibsem"},
+            )
+            assert code == 200, r
+            code, r = _post(srv.url, {"action": "segment_volume", "session_id": sid, "prompt": PROMPT})
+            assert code == 202 and r["accepted"] and r["redirected"], r
+            job_id = r["job_id"]
+
+            cursor = 0
+            seqs: list[int] = []
+            deadline = time.monotonic() + 240
+            while time.monotonic() < deadline:
+                _, feed = _post(srv.url, {"action": "job_events", "job_id": job_id, "cursor": cursor})
+                seqs.extend(e["seq"] for e in feed["events"])
+                cursor = feed["cursor"]
+                _, status = _post(srv.url, {"action": "job_status", "job_id": job_id})
+                if status["job"]["state"] in (SUCCEEDED, "failed", CANCELLED):
+                    break
+                time.sleep(0.2)
+            assert status["job"]["state"] == SUCCEEDED, status
+            assert seqs == sorted(set(seqs)) and seqs[0] == 1  # monotone, gap-free
+            _, result = _post(srv.url, {"action": "job_result", "job_id": job_id})
+            assert result["result"]["masks_key"] == array_content_key(baseline)
+
+
+SERVER_SCRIPT = """
+import sys, time
+from repro.platform.server import PlatformServer
+
+srv = PlatformServer(
+    jobs_dir=sys.argv[1], job_workers=1, job_lease_ttl_s=0.5, auto_job_slices=1
+)
+srv.start()
+with open(sys.argv[2], "w") as fh:
+    fh.write(srv.url)
+while True:
+    time.sleep(0.2)
+"""
+
+
+def _launch_server(tmp_path, jobs_dir, env, tag):
+    url_file = tmp_path / f"url-{tag}.txt"
+    proc = subprocess.Popen(
+        [sys.executable, "-c", SERVER_SCRIPT, str(jobs_dir), str(url_file)],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if url_file.exists() and url_file.read_text().startswith("http"):
+            return proc, url_file.read_text()
+        if proc.poll() is not None:
+            raise AssertionError(f"server died at startup: {proc.stderr.read().decode()}")
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("server never published its URL")
+
+
+class TestHttpKillRestartAcceptance:
+    def test_killed_server_job_resumes_bit_identical_after_restart(self, tmp_path):
+        """The ISSUE acceptance scenario, end to end over real HTTP."""
+        import os as _os
+
+        import repro as _repro
+
+        src = Path(_repro.__file__).resolve().parent.parent
+        env = dict(_os.environ)
+        env["PYTHONPATH"] = f"{src}{_os.pathsep}{env.get('PYTHONPATH', '')}"
+        env.pop("REPRO_FAULTS", None)
+        jobs_dir = tmp_path / "jobs"
+        vol = _volume(3)
+
+        proc, url = _launch_server(tmp_path, jobs_dir, {**env, "REPRO_FAULTS": "job_crash@slice=1"}, "a")
+        try:
+            _, r = _post(url, {"action": "create_session"})
+            sid = r["session_id"]
+            code, r = _post(
+                url,
+                {"action": "load_array", "session_id": sid, "data_base64": _npy_b64(vol), "modality": "fibsem"},
+            )
+            assert code == 200, r
+            code, r = _post(url, {"action": "segment_volume", "session_id": sid, "prompt": PROMPT})
+            assert code == 202, r
+            job_id = r["job_id"]
+            # the fault hard-kills the whole serving process mid-decode
+            assert proc.wait(timeout=300) == 137
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # the journal survived: slice 0 is checkpointed, the lease is stale
+        store_peek = JobService(jobs_dir, lease_ttl_s=0.5).store
+        rec = store_peek.get(job_id)
+        assert not rec.terminal and rec.lease_owner is not None
+        assert (Path(rec.checkpoint_dir) / "slice_00000.npy").exists()
+
+        proc, url = _launch_server(tmp_path, jobs_dir, env, "b")
+        try:
+            deadline = time.monotonic() + 300
+            status = {}
+            while time.monotonic() < deadline:
+                _, s = _post(url, {"action": "job_status", "job_id": job_id})
+                status = s["job"]
+                if status["state"] in (SUCCEEDED, "failed", CANCELLED):
+                    break
+                time.sleep(0.3)
+            assert status["state"] == SUCCEEDED, status
+            assert status["attempt"] == 2  # one crashed attempt + one resumed
+            _, result = _post(url, {"action": "job_result", "job_id": job_id})
+            _, feed = _post(url, {"action": "job_events", "job_id": job_id})
+            kinds = [e["kind"] for e in feed["events"]]
+            assert "lease_reclaimed" in kinds and "retry_scheduled" in kinds
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+        baseline = ZenesisPipeline().segment_volume(vol, PROMPT).masks
+        assert result["result"]["resumed_slices"] >= 1
+        assert result["result"]["masks_key"] == array_content_key(baseline)
+        with np.load(result["result"]["masks_path"]) as bundle:
+            assert np.array_equal(bundle["masks"], baseline)

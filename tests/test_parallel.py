@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ParallelError
 from repro.parallel.pool import default_worker_count, run_partitioned
@@ -80,6 +82,89 @@ class TestScheduler:
             block_partition(0, 2)
         with pytest.raises(ParallelError):
             cyclic_partition(5, 0)
+
+
+class TestPartitionEdgeCases:
+    """Degenerate partition geometries: worker surplus, empty input, huge halo."""
+
+    @pytest.mark.parametrize("partitioner", [block_partition, cyclic_partition])
+    def test_worker_surplus_clamps_without_empty_partitions(self, partitioner):
+        parts = partitioner(3, 100)
+        assert len(parts) == 3
+        assert all(p.owned for p in parts)  # never an idle worker
+        assert sorted(z for p in parts for z in p.owned) == [0, 1, 2]
+        assert [p.worker for p in parts] == [0, 1, 2]  # workers renumbered densely
+
+    @pytest.mark.parametrize("partitioner", [block_partition, cyclic_partition])
+    def test_zero_slices_rejected(self, partitioner):
+        with pytest.raises(ParallelError, match="n_slices"):
+            partitioner(0, 4)
+        with pytest.raises(ParallelError, match="n_slices"):
+            partitioner(-3, 4)
+
+    def test_halo_at_least_n_slices_clips_to_full_prefix(self):
+        for halo in (5, 6, 50):
+            parts = block_partition(5, 3, halo=halo)
+            for p in parts:
+                assert p.halo == tuple(range(0, p.owned[0]))  # everything before the block
+                assert p.all_slices == tuple(range(0, p.owned[-1] + 1))
+
+    def test_single_slice_single_owner(self):
+        for partitioner in (block_partition, cyclic_partition):
+            parts = partitioner(1, 8)
+            assert len(parts) == 1 and parts[0].owned == (0,)
+
+
+class TestPartitionProperties:
+    """Hypothesis invariants: every slice owned exactly once, halos legal."""
+
+    @given(
+        n_slices=st.integers(min_value=1, max_value=200),
+        n_workers=st.integers(min_value=1, max_value=64),
+        halo=st.integers(min_value=0, max_value=250),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_block_partition_exact_cover(self, n_slices, n_workers, halo):
+        parts = block_partition(n_slices, n_workers, halo=halo)
+        owned = [z for p in parts for z in p.owned]
+        assert sorted(owned) == list(range(n_slices))  # exact cover, no dupes
+        sizes = [len(p.owned) for p in parts]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+        for p in parts:
+            assert list(p.owned) == sorted(p.owned)
+            if p.halo:
+                # halo is a contiguous run of earlier Z ending at the block start
+                assert p.halo[-1] == p.owned[0] - 1
+                assert p.halo[0] >= max(0, p.owned[0] - halo)
+                assert list(p.halo) == list(range(p.halo[0], p.owned[0]))
+
+    @given(
+        n_slices=st.integers(min_value=1, max_value=200),
+        n_workers=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_cyclic_partition_exact_cover(self, n_slices, n_workers):
+        parts = cyclic_partition(n_slices, n_workers)
+        owned = [z for p in parts for z in p.owned]
+        assert sorted(owned) == list(range(n_slices))
+        # round-robin: consecutive owned slices of one worker differ by the stride
+        stride = min(n_workers, n_slices)
+        for p in parts:
+            assert all(b - a == stride for a, b in zip(p.owned, p.owned[1:]))
+            assert p.halo == ()
+
+    @given(
+        n_slices=st.integers(min_value=1, max_value=120),
+        n_workers=st.integers(min_value=1, max_value=16),
+        halo=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_block_round_trip_matches_job_round_geometry(self, n_slices, n_workers, halo):
+        """Indices used as positions (the jobs runner pattern) stay in range."""
+        z_list = tuple(range(1000, 1000 + n_slices))
+        parts = block_partition(n_slices, n_workers, halo=halo)
+        seen = [z_list[i] for p in parts for i in p.owned]
+        assert sorted(seen) == list(z_list)
 
 
 def _square_worker(partition, spec):
