@@ -437,6 +437,12 @@ def _cmd_jobs(args) -> int:
         cursor, t0 = 0, _time.monotonic()
         while True:
             feed = svc.events(args.job_id, cursor=cursor)
+            if feed.get("truncated"):
+                print(
+                    f"[warn] events after cursor {cursor} were trimmed from retention; "
+                    "stream resumes at the oldest retained event",
+                    file=sys.stderr,
+                )
             for event in feed["events"]:
                 detail = {k: v for k, v in event.items() if k not in ("job_id", "seq", "ts", "kind")}
                 print(f"[{event['seq']:4d}] {event['kind']} {json.dumps(detail)}")

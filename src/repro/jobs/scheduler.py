@@ -18,10 +18,18 @@ lease and re-queues the work, and checkpoint shards make the re-run cheap.
 Cancellation is cooperative: ``cancel`` flips ``cancel_requested`` on a
 running job and the runner's deadline guard turns that flag into a
 :class:`~repro.errors.JobCancelledError` at the next per-slice check.
+
+Thread-safety: every state transition holds one scheduler-level mutex for
+its whole read-modify-write sequence.  The store's own lock only makes each
+*call* atomic; :meth:`acquire` spans several (refresh, reclaim, select,
+upsert) and mutates the live record the store handed out, so without the
+outer mutex two runner threads could lease the same job and execute it
+twice.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -65,6 +73,9 @@ class JobScheduler:
         self.lease_ttl_s = float(lease_ttl_s)
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self._clock = clock
+        # Serializes whole transitions (see module docstring): reentrant so
+        # acquire -> reclaim_expired nests.
+        self._mutex = threading.RLock()
 
     # -- submission -----------------------------------------------------------
 
@@ -81,22 +92,23 @@ class JobScheduler:
         """Queue one job; returns the journaled record."""
         if kind not in JOB_KINDS:
             raise JobError(f"unknown job kind {kind!r}; known: {sorted(JOB_KINDS)}")
-        job_id, seq = self.store.new_job_id()
-        now = self._clock()
-        record = JobRecord(
-            job_id=job_id,
-            kind=kind,
-            params=dict(params or {}),
-            priority=int(priority),
-            submit_seq=seq,
-            max_attempts=int(max_attempts if max_attempts is not None else self.retry_policy.max_attempts),
-            created_at=now,
-            session_id=session_id,
-            input_path=input_path,
-            checkpoint_dir=str(self.store.checkpoint_dir(job_id)),
-        )
-        self.store.upsert(record)
-        self.store.append_event(job_id, "state", state=QUEUED)
+        with self._mutex:
+            job_id, seq = self.store.new_job_id()
+            now = self._clock()
+            record = JobRecord(
+                job_id=job_id,
+                kind=kind,
+                params=dict(params or {}),
+                priority=int(priority),
+                submit_seq=seq,
+                max_attempts=int(max_attempts if max_attempts is not None else self.retry_policy.max_attempts),
+                created_at=now,
+                session_id=session_id,
+                input_path=input_path,
+                checkpoint_dir=str(self.store.checkpoint_dir(job_id)),
+            )
+            self.store.upsert(record)
+            self.store.append_event(job_id, "state", state=QUEUED)
         record_event("jobs.submitted")
         get_registry().counter("repro_jobs_submitted_total", kind=kind).inc()
         self._publish_gauges()
@@ -110,33 +122,35 @@ class JobScheduler:
         Picks up journal lines from other submitters and reclaims expired
         leases first, so a single acquire loop is a complete scheduler tick.
         """
-        self.store.refresh()
-        self.reclaim_expired()
-        now = self._clock()
-        runnable = [
-            r
-            for r in self.store.list_jobs(states=(QUEUED,))
-            if r.not_before <= now and not r.cancel_requested
-        ]
-        if not runnable:
-            return None
-        job = min(runnable, key=lambda r: (-r.priority, r.submit_seq))
-        job.state = LEASED
-        job.attempt += 1
-        job.lease_owner = str(worker_id)
-        job.lease_expires_at = now + self.lease_ttl_s
-        self.store.upsert(job)
-        self._publish_gauges()
-        return job
+        with self._mutex:
+            self.store.refresh()
+            self.reclaim_expired()
+            now = self._clock()
+            runnable = [
+                r
+                for r in self.store.list_jobs(states=(QUEUED,))
+                if r.not_before <= now and not r.cancel_requested
+            ]
+            if not runnable:
+                return None
+            job = min(runnable, key=lambda r: (-r.priority, r.submit_seq))
+            job.state = LEASED
+            job.attempt += 1
+            job.lease_owner = str(worker_id)
+            job.lease_expires_at = now + self.lease_ttl_s
+            self.store.upsert(job)
+            self._publish_gauges()
+            return job
 
     def started(self, job_id: str, worker_id: str) -> JobRecord:
         """Mark a leased job running (the worker is about to execute)."""
-        job = self._owned(job_id, worker_id)
-        job.state = RUNNING
-        self.store.upsert(job)
-        self.store.append_event(job_id, "state", state=RUNNING, attempt=job.attempt, worker=worker_id)
-        self._publish_gauges()
-        return job
+        with self._mutex:
+            job = self._owned(job_id, worker_id)
+            job.state = RUNNING
+            self.store.upsert(job)
+            self.store.append_event(job_id, "state", state=RUNNING, attempt=job.attempt, worker=worker_id)
+            self._publish_gauges()
+            return job
 
     def heartbeat(self, job_id: str, worker_id: str, *, progress: dict | None = None) -> JobRecord | None:
         """Extend the lease; returns None when the lease was lost.
@@ -144,31 +158,33 @@ class JobScheduler:
         A worker whose heartbeat returns None must abandon the job silently:
         another worker already owns (or finished) the reclaimed attempt.
         """
-        rec = self.store.maybe_get(job_id)
-        if rec is None or rec.state not in ACTIVE_STATES or rec.lease_owner != str(worker_id):
-            record_event("jobs.lost_leases")
-            return None
-        rec.lease_expires_at = self._clock() + self.lease_ttl_s
-        if progress:
-            rec.progress = dict(progress)
-        self.store.upsert(rec)
-        return rec
+        with self._mutex:
+            rec = self.store.maybe_get(job_id)
+            if rec is None or rec.state not in ACTIVE_STATES or rec.lease_owner != str(worker_id):
+                record_event("jobs.lost_leases")
+                return None
+            rec.lease_expires_at = self._clock() + self.lease_ttl_s
+            if progress:
+                rec.progress = dict(progress)
+            self.store.upsert(rec)
+            return rec
 
     # -- completion -----------------------------------------------------------
 
     def complete(self, job_id: str, worker_id: str, result: dict, *, spans: list | None = None) -> JobRecord:
-        job = self._owned(job_id, worker_id)
-        job.state = SUCCEEDED
-        job.result = result
-        job.error = None
-        job.lease_owner = None
-        job.lease_expires_at = None
-        if spans:
-            job.spans = list(spans)
-        self.store.upsert(job)
-        self.store.append_event(job_id, "state", state=SUCCEEDED)
-        self._count_terminal(job)
-        return job
+        with self._mutex:
+            job = self._owned(job_id, worker_id)
+            job.state = SUCCEEDED
+            job.result = result
+            job.error = None
+            job.lease_owner = None
+            job.lease_expires_at = None
+            if spans:
+                job.spans = list(spans)
+            self.store.upsert(job)
+            self.store.append_event(job_id, "state", state=SUCCEEDED)
+            self._count_terminal(job)
+            return job
 
     def fail(
         self,
@@ -180,58 +196,62 @@ class JobScheduler:
         spans: list | None = None,
     ) -> JobRecord:
         """Record a failed attempt: requeue with backoff, or go terminal."""
-        job = self._owned(job_id, worker_id)
-        if spans:
-            job.spans = list(job.spans) + list(spans)
-        return self._fail_attempt(job, dict(error), retryable=retryable)
+        with self._mutex:
+            job = self._owned(job_id, worker_id)
+            if spans:
+                job.spans = list(job.spans) + list(spans)
+            return self._fail_attempt(job, dict(error), retryable=retryable)
 
     def cancelled(self, job_id: str, worker_id: str, *, spans: list | None = None) -> JobRecord:
         """A worker observed the cancel flag and stopped cleanly."""
-        job = self._owned(job_id, worker_id)
-        if spans:
-            job.spans = list(job.spans) + list(spans)
-        return self._go_cancelled(job)
+        with self._mutex:
+            job = self._owned(job_id, worker_id)
+            if spans:
+                job.spans = list(job.spans) + list(spans)
+            return self._go_cancelled(job)
 
     def cancel(self, job_id: str) -> JobRecord:
         """Client-side cancel: immediate when queued, cooperative when running."""
-        self.store.refresh()
-        job = self.store.get(job_id)
-        if job.terminal:
+        with self._mutex:
+            self.store.refresh()
+            job = self.store.get(job_id)
+            if job.terminal:
+                return job
+            if job.state == QUEUED:
+                return self._go_cancelled(job)
+            job.cancel_requested = True
+            self.store.upsert(job)
+            self.store.append_event(job_id, "cancel_requested")
             return job
-        if job.state == QUEUED:
-            return self._go_cancelled(job)
-        job.cancel_requested = True
-        self.store.upsert(job)
-        self.store.append_event(job_id, "cancel_requested")
-        return job
 
     # -- lease reclaim --------------------------------------------------------
 
     def reclaim_expired(self) -> list[JobRecord]:
         """Requeue (or fail out) every job whose lease expired."""
-        now = self._clock()
-        reclaimed = []
-        for job in self.store.list_jobs(states=ACTIVE_STATES):
-            if not job.lease_expired(now):
-                continue
-            record_event("jobs.lease_reclaimed")
-            get_registry().counter("repro_jobs_reclaimed_total").inc()
-            self.store.append_event(
-                job.job_id, "lease_reclaimed", attempt=job.attempt, worker=job.lease_owner
-            )
-            error = {
-                "type": "JobError",
-                "error": f"lease expired on attempt {job.attempt} "
-                f"(worker {job.lease_owner!r} stopped heartbeating)",
-            }
-            if job.cancel_requested:
-                self._go_cancelled(job)
-            else:
-                self._fail_attempt(job, error, retryable=True)
-            reclaimed.append(job)
-        if reclaimed:
-            self._publish_gauges()
-        return reclaimed
+        with self._mutex:
+            now = self._clock()
+            reclaimed = []
+            for job in self.store.list_jobs(states=ACTIVE_STATES):
+                if not job.lease_expired(now):
+                    continue
+                record_event("jobs.lease_reclaimed")
+                get_registry().counter("repro_jobs_reclaimed_total").inc()
+                self.store.append_event(
+                    job.job_id, "lease_reclaimed", attempt=job.attempt, worker=job.lease_owner
+                )
+                error = {
+                    "type": "JobError",
+                    "error": f"lease expired on attempt {job.attempt} "
+                    f"(worker {job.lease_owner!r} stopped heartbeating)",
+                }
+                if job.cancel_requested:
+                    self._go_cancelled(job)
+                else:
+                    self._fail_attempt(job, error, retryable=True)
+                reclaimed.append(job)
+            if reclaimed:
+                self._publish_gauges()
+            return reclaimed
 
     # -- internals ------------------------------------------------------------
 

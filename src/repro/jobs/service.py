@@ -144,10 +144,18 @@ class JobService:
         return out
 
     def events(self, job_id: str, cursor: int = 0, limit: int | None = None) -> dict:
-        """Progress events past ``cursor`` plus the monotone next cursor."""
+        """Progress events past ``cursor`` plus the monotone next cursor.
+
+        ``truncated: true`` appears when retention trimming discarded events
+        between the caller's cursor and the oldest retained one — the stream
+        is still strictly increasing, but no longer complete.
+        """
         self.store.refresh()
-        events, next_cursor = self.store.events_after(job_id, cursor=cursor, limit=limit)
-        return {"job_id": job_id, "events": events, "cursor": next_cursor}
+        events, next_cursor, truncated = self.store.events_after(job_id, cursor=cursor, limit=limit)
+        out = {"job_id": job_id, "events": events, "cursor": next_cursor}
+        if truncated:
+            out["truncated"] = True
+        return out
 
     def cancel(self, job_id: str) -> dict:
         """Cancel a job: immediate when queued, cooperative when running."""
@@ -172,7 +180,11 @@ class JobService:
         """Delete terminal jobs (and their artifacts) older than ``max_age_s``.
 
         Also sweeps orphaned input snapshots no live job references — the
-        residue of a crash between input save and journal append.
+        residue of a crash between input save and journal append.  Orphans
+        get the same ``max_age_s`` grace (by file mtime): submit writes the
+        input *before* the journal line, and a shared-dir CLI submitter's
+        line may not be visible to this process yet, so a freshly written
+        snapshot is very likely a job mid-submission, not residue.
         """
         self.store.refresh()
         now = self._clock()
@@ -185,10 +197,18 @@ class JobService:
             removed.append(rec.job_id)
         referenced = {r.input_path for r in self.store.list_jobs() if r.input_path}
         orphans = 0
+        wall_now = time.time()  # mtimes are wall-clock, not self._clock
         for path in (self.store.root / "inputs").iterdir():
-            if str(path) not in referenced:
-                path.unlink(missing_ok=True)
-                orphans += 1
+            if str(path) in referenced:
+                continue
+            try:
+                age_s = wall_now - path.stat().st_mtime
+            except OSError:
+                continue  # swept by a peer mid-scan
+            if age_s < max_age_s:
+                continue
+            path.unlink(missing_ok=True)
+            orphans += 1
         self.store.compact()
         if removed or orphans:
             record_event("jobs.gc_removed", len(removed) + orphans)

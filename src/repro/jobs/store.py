@@ -24,8 +24,12 @@ Durability contract:
   safe;
 * :meth:`refresh` tail-reads lines appended by *other* processes (the CLI
   submitting into a directory a server is working), so one coordinator can
-  pick up work queued offline.  Compaction and GC belong to the coordinator
-  only.
+  pick up work queued offline.  Appends by this process never assume they
+  landed at the read watermark: when a foreign writer interleaved lines the
+  watermark stays put and refresh replays them (own-line replay is
+  idempotent), and a foreign torn tail is newline-terminated before the next
+  append so two writers' bytes never fuse into one corrupt line.  Compaction
+  and GC belong to the coordinator only.
 
 Fault injection: a ``journal_torn`` rule in ``REPRO_FAULTS`` makes an
 append write half its line and hard-exit — a power cut mid-write — so the
@@ -188,6 +192,13 @@ class JobStore:
         kind = entry.get("t")
         if kind == "job":
             rec = JobRecord.from_dict(entry["job"])
+            events = self._events.get(rec.job_id)
+            if events:
+                # Never regress the event sequence: the record may have been
+                # serialized before events that are already indexed (a crash
+                # between an event append and the next upsert, or a replay of
+                # our own older line after a foreign writer interleaved).
+                rec.events_seq = max(rec.events_seq, events[-1]["seq"])
             self._jobs[rec.job_id] = rec
             self._seq = max(self._seq, rec.submit_seq)
         elif kind == "event":
@@ -198,26 +209,57 @@ class JobStore:
                 events.append({k: v for k, v in entry.items() if k != "t"})
                 if len(events) > _MAX_EVENTS_PER_JOB:
                     del events[: len(events) - _MAX_EVENTS_PER_JOB]
+            rec = self._jobs.get(jid)
+            if rec is not None and seq > rec.events_seq:
+                rec.events_seq = seq
         elif kind == "gone":
             self._jobs.pop(entry["job_id"], None)
             self._events.pop(entry["job_id"], None)
 
     # -- journaling -----------------------------------------------------------
 
+    def _tail_unterminated(self) -> bool:
+        """True when the journal ends mid-line — a foreign writer's torn tail."""
+        try:
+            size = self.journal_path.stat().st_size
+        except FileNotFoundError:
+            return False
+        if size == 0:
+            return False
+        with self.journal_path.open("rb") as fh:
+            fh.seek(size - 1)
+            return fh.read(1) != b"\n"
+
     def _append(self, entry: dict) -> None:
         line = json.dumps(entry, separators=(",", ":")).encode() + b"\n"
         self._appends += 1
         torn = get_fault_plan().should_fire("journal_torn", line=self._appends)
+        # A foreign writer (CLI submitting into a live server's directory)
+        # may have crashed mid-append since our last look: terminate its torn
+        # tail first, so our line starts fresh instead of fusing with it into
+        # one corrupt line that loses BOTH entries for every reader.
+        lead = b""
+        if self._tail_unterminated():
+            record_event("jobs.journal_torn_lines")
+            get_registry().counter("repro_jobs_journal_torn_total").inc()
+            lead = b"\n"
         with self.journal_path.open("ab") as fh:
+            start = fh.tell()
             if torn:
                 # A power cut mid-append: half the line, no newline, gone.
-                fh.write(line[: max(1, len(line) // 2)])
+                fh.write(lead + line[: max(1, len(line) // 2)])
                 fh.flush()
                 os.fsync(fh.fileno())
                 os._exit(137)
-            fh.write(line)
+            fh.write(lead + line)
+            end = fh.tell()
         self._journal_lines += 1
-        self._read_pos += len(line)
+        # Advance the read watermark only when our bytes landed exactly at
+        # it.  Otherwise a foreign writer interleaved lines the watermark
+        # must not skip: refresh() replays them (and replaying our own line
+        # alongside is idempotent — upserts overwrite, events dedupe).
+        if start == self._read_pos and end == start + len(lead) + len(line):
+            self._read_pos = end
         if self._journal_lines >= self.compact_every:
             self.compact()
 
@@ -307,16 +349,25 @@ class JobStore:
             self._append({"t": "event", **event})
             return event
 
-    def events_after(self, job_id: str, cursor: int = 0, limit: int | None = None) -> tuple[list[dict], int]:
-        """Events with ``seq > cursor`` plus the next cursor (monotone).
+    def events_after(
+        self, job_id: str, cursor: int = 0, limit: int | None = None
+    ) -> tuple[list[dict], int, bool]:
+        """Events with ``seq > cursor``, the next cursor, and a gap flag.
 
         The returned cursor always advances to the last delivered event, so
-        concurrent pollers each see a gap-free, strictly increasing stream.
+        concurrent pollers each see a strictly increasing stream.  The stream
+        is gap-free unless retention trimming (``_MAX_EVENTS_PER_JOB``)
+        discarded events past the caller's cursor — a slow poller cannot get
+        them back, but the returned ``truncated`` flag tells it the events
+        between its cursor and the oldest retained one are gone, instead of
+        silently skipping them.
         """
         with self._lock:
             self.get(job_id)  # raise UnknownJobError on bogus ids
-            events = [e for e in self._events.get(job_id, []) if e["seq"] > int(cursor)]
+            retained = self._events.get(job_id, [])
+            truncated = bool(retained) and int(cursor) < retained[0]["seq"] - 1
+            events = [e for e in retained if e["seq"] > int(cursor)]
             if limit is not None:
                 events = events[: int(limit)]
             next_cursor = events[-1]["seq"] if events else int(cursor)
-            return [dict(e) for e in events], next_cursor
+            return [dict(e) for e in events], next_cursor, truncated

@@ -74,8 +74,8 @@ class TestJobStore:
         reloaded = JobStore(tmp_path / "jobs")
         got = reloaded.get(job_id)
         assert got.state == RUNNING and got.params == {"x": 1}
-        events, cursor = reloaded.events_after(job_id)
-        assert [e["kind"] for e in events] == ["state"] and cursor == 1
+        events, cursor, truncated = reloaded.events_after(job_id)
+        assert [e["kind"] for e in events] == ["state"] and cursor == 1 and not truncated
         # sequence numbering continues, never reuses
         next_id, next_seq = reloaded.new_job_id()
         assert next_seq == seq + 1 and next_id != job_id
@@ -142,6 +142,44 @@ class TestJobStore:
         assert b.refresh() == 1
         assert b.get(job_id).kind == "evaluate"
 
+    def test_interleaved_foreign_append_is_not_skipped(self, tmp_path):
+        """A CLI line appended between a live server's own writes must still
+        be scheduled: the server's append may not advance the read watermark
+        past foreign bytes it has never parsed."""
+        server = JobStore(tmp_path / "jobs")
+        cli = JobStore(tmp_path / "jobs")  # second process, same directory
+        sid, sseq = server.new_job_id()
+        server.upsert(JobRecord(job_id=sid, kind="evaluate", submit_seq=sseq))
+        # the CLI submits while the server is mid-stream ...
+        cid, cseq = cli.new_job_id()
+        cli.upsert(JobRecord(job_id=cid, kind="synthesize", submit_seq=cseq))
+        # ... and the server appends again, on top of the foreign line
+        rec = server.get(sid)
+        rec.state = RUNNING
+        server.upsert(rec)
+
+        server.refresh()
+        assert server.get(cid).kind == "synthesize"  # CLI job picked up
+        assert server.get(sid).state == RUNNING  # own replay is idempotent
+        # a cold reader agrees: nothing was fused or dropped
+        assert {r.job_id for r in JobStore(tmp_path / "jobs").list_jobs()} == {sid, cid}
+
+    def test_append_terminates_foreign_torn_tail(self, tmp_path):
+        """A foreign writer crashing mid-append while this process is live:
+        the next append must not fuse its line onto the torn bytes."""
+        store = JobStore(tmp_path / "jobs")
+        a_id, a_seq = store.new_job_id()
+        store.upsert(JobRecord(job_id=a_id, kind="evaluate", submit_seq=a_seq))
+        with store.journal_path.open("ab") as fh:
+            fh.write(b'{"t": "job", "job": {"job_id": "torn')  # foreign power cut
+        b_id, b_seq = store.new_job_id()
+        store.upsert(JobRecord(job_id=b_id, kind="synthesize", submit_seq=b_seq))
+        assert EVENTS.get("jobs.journal_torn_lines") == 1
+
+        reloaded = JobStore(tmp_path / "jobs")
+        assert reloaded.get(b_id).kind == "synthesize"  # survived on its own line
+        assert reloaded.get(a_id).kind == "evaluate"
+
     def test_remove_survives_restart(self, tmp_path):
         store = JobStore(tmp_path / "jobs")
         job_id, seq = store.new_job_id()
@@ -162,12 +200,45 @@ class TestJobStore:
         store.upsert(JobRecord(job_id=job_id, kind="evaluate", submit_seq=seq))
         for i in range(7):
             store.append_event(job_id, "progress", done=i)
-        batch1, c1 = store.events_after(job_id, cursor=0, limit=3)
-        batch2, c2 = store.events_after(job_id, cursor=c1, limit=3)
-        batch3, c3 = store.events_after(job_id, cursor=c2)
+        batch1, c1, _ = store.events_after(job_id, cursor=0, limit=3)
+        batch2, c2, _ = store.events_after(job_id, cursor=c1, limit=3)
+        batch3, c3, _ = store.events_after(job_id, cursor=c2)
         seqs = [e["seq"] for e in batch1 + batch2 + batch3]
         assert seqs == list(range(1, 8))  # gap-free, strictly increasing
-        assert store.events_after(job_id, cursor=c3) == ([], c3)  # stable at tail
+        assert store.events_after(job_id, cursor=c3) == ([], c3, False)  # stable at tail
+
+    def test_events_trimmed_past_cursor_signalled(self, tmp_path, monkeypatch):
+        """A slow poller whose cursor fell behind the retention window is
+        told about the gap instead of silently skipping events."""
+        from repro.jobs import store as store_mod
+
+        monkeypatch.setattr(store_mod, "_MAX_EVENTS_PER_JOB", 5)
+        store = JobStore(tmp_path / "jobs")
+        job_id, seq = store.new_job_id()
+        store.upsert(JobRecord(job_id=job_id, kind="evaluate", submit_seq=seq))
+        for i in range(12):
+            store.append_event(job_id, "progress", done=i)
+        events, cursor, truncated = store.events_after(job_id, cursor=0)
+        assert truncated  # seqs 1..7 are gone and the caller knows
+        assert [e["seq"] for e in events] == list(range(8, 13))
+        # a poller at (or past) the trim boundary sees no gap
+        assert store.events_after(job_id, cursor=7)[2] is False
+        assert store.events_after(job_id, cursor=cursor) == ([], cursor, False)
+
+    def test_event_seq_never_reissued_after_reload(self, tmp_path):
+        """events_seq recovers from indexed events even when the last upsert
+        predates the last event (crash between event append and upsert)."""
+        store = JobStore(tmp_path / "jobs")
+        job_id, seq = store.new_job_id()
+        store.upsert(JobRecord(job_id=job_id, kind="evaluate", submit_seq=seq))
+        for i in range(3):
+            store.append_event(job_id, "progress", done=i)  # no upsert afterwards
+
+        reloaded = JobStore(tmp_path / "jobs")
+        event = reloaded.append_event(job_id, "progress", done=3)
+        assert event["seq"] == 4  # continues, never reuses 1..3
+        seqs = [e["seq"] for e in reloaded.events_after(job_id)[0]]
+        assert seqs == [1, 2, 3, 4]
 
 
 # -- scheduler -----------------------------------------------------------------
@@ -280,6 +351,33 @@ class TestJobScheduler:
         sched.acquire("w")
         sched.fail(job.job_id, "w", {"type": "TypeError", "error": "bug"}, retryable=False)
         assert sched.store.get(job.job_id).state == FAILED
+
+    def test_concurrent_acquire_never_double_leases(self, tmp_path):
+        """Racing runner threads must each lease a distinct job: acquire's
+        refresh/reclaim/select/upsert sequence is atomic end to end."""
+        sched = _plain_scheduler(tmp_path, FakeClock())  # frozen clock: leases never expire
+        submitted = [sched.submit("evaluate").job_id for _ in range(12)]
+        got: list[str] = []
+        got_lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def grab(worker: str) -> None:
+            barrier.wait()
+            while True:
+                job = sched.acquire(worker)
+                if job is None:
+                    return
+                with got_lock:
+                    got.append(job.job_id)
+
+        threads = [threading.Thread(target=grab, args=(f"w{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(got) == len(set(got)) == 12  # every job leased exactly once
+        assert sorted(got) == sorted(submitted)
+        assert all(r.attempt == 1 for r in sched.store.list_jobs())  # no burned attempts
 
 
 # -- guard ---------------------------------------------------------------------
@@ -415,14 +513,19 @@ class TestJobExecution:
         done = svc.submit("synthesize", {"size": 32, "n_slices": 1})
         svc.runner.run_until_idle()
         fresh = svc.submit("synthesize", {"size": 32, "n_slices": 1})
-        orphan = svc.store.input_path("vol-orphan")
-        orphan.write_bytes(b"x")
+        old_orphan = svc.store.input_path("vol-orphan")
+        old_orphan.write_bytes(b"x")
+        stale = time.time() - 120.0
+        os.utime(old_orphan, (stale, stale))  # residue of a long-dead crash
+        new_orphan = svc.store.input_path("vol-inflight")
+        new_orphan.write_bytes(b"y")  # may belong to a submit not yet journaled
         clock.advance(100.0)
         swept = svc.gc(max_age_s=50.0)
         assert swept["removed"] == [done.job_id] and swept["orphan_inputs"] == 1
         assert svc.store.maybe_get(done.job_id) is None
         assert svc.store.maybe_get(fresh.job_id) is not None  # queued jobs untouched
-        assert not orphan.exists()
+        assert not old_orphan.exists()
+        assert new_orphan.exists()  # fresh snapshots get a grace period
 
     def test_concurrent_event_polling_monotone_and_complete(self, tmp_path):
         """Pollers racing the writer each see a gap-free increasing stream."""
