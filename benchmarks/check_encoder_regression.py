@@ -1,0 +1,80 @@
+"""Gate encoder throughput against the committed BENCH_encoder.json.
+
+Usage::
+
+    python benchmarks/check_encoder_regression.py BASELINE CURRENT [--max-drop 0.20]
+
+Compares ``tokens_per_s`` per config present in *both* files and exits
+non-zero when any config regresses by more than ``--max-drop`` (default
+20%).  Configs only present on one side are reported but never fail the
+check (the reduced CI matrix measures a subset of the committed full
+matrix).
+
+CI wires this into the ``bench`` job.  A *known and accepted* regression
+(e.g. trading encoder throughput for accuracy) is merged by applying the
+``perf-regression-ok`` label to the PR, which skips this check — then
+refresh the committed baseline in the same PR::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/test_encoder_bench.py
+    cp benchmarks/_artifacts/BENCH_encoder.json BENCH_encoder.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(baseline: dict, current: dict, max_drop: float) -> list[str]:
+    """Return failure lines; empty means the check passes."""
+    failures = []
+    base_results = baseline.get("results", {})
+    cur_results = current.get("results", {})
+    for name in sorted(base_results):
+        if name not in cur_results:
+            print(f"  {name:<22} not in current run (reduced matrix) — skipped")
+            continue
+        base = base_results[name]["tokens_per_s"]
+        cur = cur_results[name]["tokens_per_s"]
+        ratio = cur / base if base else float("inf")
+        status = "ok" if ratio >= 1.0 - max_drop else "REGRESSED"
+        print(f"  {name:<22} baseline {base:>9.1f}  current {cur:>9.1f}  ({ratio:.2f}x) {status}")
+        if ratio < 1.0 - max_drop:
+            failures.append(
+                f"{name}: {cur:.1f} tok/s is {(1.0 - ratio) * 100:.1f}% below baseline "
+                f"{base:.1f} (allowed drop {max_drop * 100:.0f}%)"
+            )
+    for name in sorted(set(cur_results) - set(base_results)):
+        print(f"  {name:<22} new config (no baseline) — informational only")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_encoder.json")
+    parser.add_argument("current", type=Path, help="freshly measured BENCH_encoder.json")
+    parser.add_argument("--max-drop", type=float, default=0.20, help="allowed fractional drop")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    print(f"encoder throughput vs {args.baseline} (max drop {args.max_drop * 100:.0f}%):")
+    failures = compare(baseline, current, args.max_drop)
+    if failures:
+        print("\nFAIL: encoder throughput regression", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "\nIf this trade-off is intentional, apply the 'perf-regression-ok' label "
+            "and refresh the committed BENCH_encoder.json (see module docstring).",
+            file=sys.stderr,
+        )
+        return 1
+    print("encoder throughput OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

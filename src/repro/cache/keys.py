@@ -58,8 +58,19 @@ def config_fingerprint(*objs) -> str:
     produces a different fingerprint, which invalidates every cache entry
     keyed with it — the content-addressing answer to "is this result still
     valid under my current model?".
+
+    The active numeric precision tier (``repro.models.nn.precision``) is
+    folded in as well, so entries computed under ``fast`` math can never
+    satisfy an ``exact`` lookup (or vice versa) — including on the disk
+    tier shared across processes.
     """
-    return hashlib.sha1(repr([_canonical(o) for o in objs]).encode()).hexdigest()
+    # Imported lazily: repro.models pulls in modules that import repro.cache
+    # at module scope, so a top-level import here would be circular.
+    from ..models.nn.precision import precision_tag
+
+    return hashlib.sha1(
+        repr([_canonical(o) for o in objs] + [precision_tag()]).encode()
+    ).hexdigest()
 
 
 def combine_keys(*parts: str) -> str:

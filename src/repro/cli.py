@@ -27,11 +27,24 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_precision_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--precision",
+        choices=["exact", "fast"],
+        default=None,
+        help="numeric tier: 'exact' (default) keeps bit-identical fp32 math; "
+        "'fast' enables fp16 activation storage and streaming-softmax kernels "
+        "(cache entries are fingerprint-segregated per tier). Overrides "
+        "REPRO_PRECISION for this run",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.split("\n")[0])
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("segment", help="segment a file from a text prompt")
+    _add_precision_flag(p)
     p.add_argument("path", type=Path)
     p.add_argument("prompt")
     p.add_argument("--out", type=Path, default=None, help="output .npz (default: alongside input)")
@@ -65,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("batch", help="Mode B batch segmentation of a volume")
+    _add_precision_flag(p)
     p.add_argument("path", type=Path)
     p.add_argument("prompt")
     p.add_argument("--out", type=Path, default=None)
@@ -72,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-temporal", action="store_true")
 
     p = sub.add_parser("evaluate", help="run the paper's table experiments")
+    _add_precision_flag(p)
     p.add_argument("--methods", nargs="+", default=["otsu", "sam_only", "zenesis"])
     p.add_argument("--size", type=int, default=256, help="slice edge length")
     p.add_argument("--slices", type=int, default=10, help="slices per volume")
@@ -97,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--with-gt", action="store_true", help="bundle ground truth (npz output)")
 
     p = sub.add_parser("serve", help="run the platform HTTP server")
+    _add_precision_flag(p)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
     p.add_argument(
@@ -162,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("jobs", help="durable background jobs over a jobs directory")
+    _add_precision_flag(p)
     p.add_argument(
         "--jobs-dir",
         type=Path,
@@ -496,4 +513,10 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "precision", None) is not None:
+        # Set before any model/cache object exists so every fingerprint
+        # computed in this run carries the selected tier.
+        from .models.nn.precision import set_precision
+
+        set_precision(args.precision)
     return _COMMANDS[args.command](args)

@@ -78,6 +78,10 @@ class ZenesisConfig:
     seed: int = 0
     strict_grounding: bool = False  # raise GroundingError when nothing grounds
     use_cache: bool = True  # content-addressed inference cache (--no-cache)
+    # Volume pre-encode: upcoming slices are pushed through the batched ViT
+    # encoder in chunks of this size (warming the sam.image cache) before the
+    # per-slice decode loop; <= 1 disables batching.
+    encode_batch_size: int = 8
     # Strict-mode grounding recovery: before raising GroundingError, retry
     # with both thresholds multiplied by grounding_relax per attempt.
     grounding_retries: int = 2
@@ -433,6 +437,22 @@ class ZenesisPipeline:
                 per_slice_boxes, report = refine_box_sequences(
                     per_slice_boxes, self.config.temporal, image_shape=voxels.shape[1:]
                 )
+
+        # Pre-encode the slices the decode loop is about to visit through the
+        # batched ViT path: the embeddings land in the content-addressed
+        # sam.image cache (memory + disk tiers), so every set_image below —
+        # and any later re-prompt on the same slices — is a pure hit.  A
+        # no-op when caching is off (nowhere to park the embeddings) or the
+        # batch size disables it.
+        batch = self.config.encode_batch_size
+        if batch > 1 and self.cache.enabled:
+            pending = [z for z in range(n) if z not in done]
+            if pending:
+                with trace("volume.preencode", n_slices=len(pending)):
+                    with self.profiler.stage("sam.preencode"):
+                        for start in range(0, len(pending), batch):
+                            chunk = pending[start : start + batch]
+                            self.predictor.precompute_images([seg_imgs[z] for z in chunk])
 
         slice_results: list[SliceResult] = []
         masks = np.zeros(voxels.shape, dtype=bool)

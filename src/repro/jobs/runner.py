@@ -384,6 +384,22 @@ class JobRunner:
             masks[z] = np.asarray(ckpt.load_slice(z), dtype=bool)
         remaining = [z for z in range(n) if z not in done]
 
+        # Pre-encode the remaining slices through the batched ViT path
+        # before forking decode workers: the sam.image entries land in the
+        # coordinator's cache, children inherit them copy-on-write, and the
+        # disk tier shares them with replica processes — so per-slice
+        # set_image in the rounds below never re-runs the encoder.
+        batch = config.encode_batch_size
+        if batch > 1 and pipeline.cache.enabled and remaining:
+            span = tracer.begin("job.preencode", n_slices=len(remaining))
+            for start in range(0, len(remaining), batch):
+                chunk = remaining[start : start + batch]
+                guard.check(f"segment_volume job (pre-encode at slice {chunk[0]})")
+                # adapt() is a cache hit after the prepare loop above.
+                seg_chunk = [pipeline.adapt(voxels[z])[1] for z in chunk]
+                pipeline.predictor.precompute_images(seg_chunk)
+            tracer.finish(span)
+
         # Decode in rounds through the shared-memory process pool; the
         # coordinator checkpoints every slice of a finished round, so a kill
         # loses at most one round of work.

@@ -1,14 +1,17 @@
 """From-scratch NumPy neural-network primitives (inference only)."""
 
+from . import kernels
 from .attention import MultiHeadAttention, attention_scores
 from .embeddings import (
     PatchEmbed,
     RandomFourierPositionEncoding,
     TokenEmbedding,
+    clear_sincos_cache,
     sincos_position_embedding,
 )
 from .init import ParamFactory
 from .layers import LayerNorm, Linear, Mlp, gelu, relu, softmax
+from .precision import get_precision, precision, precision_tag, set_precision
 from .transformer import TransformerBlock, TransformerEncoder, TwoWayBlock
 
 __all__ = [
@@ -24,8 +27,14 @@ __all__ = [
     "TransformerEncoder",
     "TwoWayBlock",
     "attention_scores",
+    "clear_sincos_cache",
     "gelu",
+    "get_precision",
+    "kernels",
+    "precision",
+    "precision_tag",
     "relu",
+    "set_precision",
     "sincos_position_embedding",
     "softmax",
 ]

@@ -7,12 +7,17 @@ Implements exactly the operator the paper writes out:
 with multi-head projection/recombination.  Shapes are ``(..., tokens, dim)``;
 queries and keys/values may have different token counts (cross-attention
 between text tokens and image patches is the core of GroundingDINO).
+
+The heavy lifting lives in :mod:`repro.models.nn.kernels`: self-attention
+projects Q/K/V through one fused gemm, and the softmax·V product routes
+through the blocked (exact tier) or online-softmax (fast tier) kernel.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .init import ParamFactory
 from .layers import Linear, softmax
 
@@ -23,12 +28,12 @@ def attention_scores(q: np.ndarray, k: np.ndarray) -> np.ndarray:
     """Raw scaled attention logits ``Q K^T / sqrt(d)`` (no softmax).
 
     Exposed separately because GroundingDINO's grounding head thresholds
-    these relevance scores directly (text/box thresholds).
+    these relevance scores directly (text/box thresholds).  Scaling happens
+    on the cheaper side when that is errorless — see
+    :func:`repro.models.nn.kernels.scaled_scores`; the exact tier stays
+    bit-compatible with the historical divide-the-logits form.
     """
-    q = np.asarray(q, dtype=np.float32)
-    k = np.asarray(k, dtype=np.float32)
-    d = q.shape[-1]
-    return (q @ np.swapaxes(k, -1, -2)) / np.float32(np.sqrt(d))
+    return kernels.scaled_scores(q, k)
 
 
 class MultiHeadAttention:
@@ -59,6 +64,17 @@ class MultiHeadAttention:
         self.k_proj = Linear(params, f"{name}.k", kv_dim, self.inner)
         self.v_proj = Linear(params, f"{name}.v", kv_dim, self.inner)
         self.out_proj = Linear(params, f"{name}.out", self.inner, dim)
+        # Self-attention runs Q/K/V as ONE gemm against the column-fused
+        # weight; possible whenever queries and keys share the input dim.
+        # Parameter names/values are untouched — this is a view of the same
+        # Linear weights, so checkpoints and fingerprints are unaffected.
+        self._w_qkv: np.ndarray | None = None
+        self._b_qkv: np.ndarray | None = None
+        if kv_dim == dim:
+            self._w_qkv, self._b_qkv = kernels.fuse_linear(
+                [self.q_proj.weight, self.k_proj.weight, self.v_proj.weight],
+                [self.q_proj.bias, self.k_proj.bias, self.v_proj.bias],
+            )
 
     def _split(self, x: np.ndarray) -> np.ndarray:
         # (..., T, inner) -> (..., heads, T, head_dim)
@@ -70,7 +86,26 @@ class MultiHeadAttention:
         # (..., heads, T, head_dim) -> (..., T, inner)
         x = np.swapaxes(x, -2, -3)
         *lead, t, h, d = x.shape
-        return np.ascontiguousarray(x).reshape(*lead, t, h * d)
+        return x.reshape(*lead, t, h * d)
+
+    def _project_qkv(
+        self, queries: np.ndarray, keys: np.ndarray | None, values: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if keys is None and values is None and self._w_qkv is not None:
+            qkv = np.asarray(queries, dtype=np.float32) @ self._w_qkv
+            if self._b_qkv is not None:
+                qkv += self._b_qkv
+            inner = self.inner
+            q = qkv[..., :inner]
+            k = qkv[..., inner : 2 * inner]
+            v = qkv[..., 2 * inner :]
+        else:
+            keys = queries if keys is None else keys
+            values = keys if values is None else values
+            q = self.q_proj(queries)
+            k = self.k_proj(keys)
+            v = self.v_proj(values)
+        return self._split(q), self._split(k), self._split(v)
 
     def __call__(
         self,
@@ -81,15 +116,12 @@ class MultiHeadAttention:
         return_weights: bool = False,
     ):
         """Apply attention.  ``keys``/``values`` default to ``queries`` (self)."""
-        keys = queries if keys is None else keys
-        values = keys if values is None else values
-        q = self._split(self.q_proj(queries))
-        k = self._split(self.k_proj(keys))
-        v = self._split(self.v_proj(values))
-        logits = attention_scores(q, k)
-        weights = softmax(logits, axis=-1)
-        out = self._merge(weights @ v)
-        out = self.out_proj(out)
+        q, k, v = self._project_qkv(queries, keys, values)
         if return_weights:
+            # Full weights requested: materialise logits the naive way.
+            logits = attention_scores(q, k)
+            weights = softmax(logits, axis=-1)
+            out = self.out_proj(self._merge(weights @ np.asarray(v, dtype=np.float32)))
             return out, weights
+        out = self.out_proj(self._merge(kernels.attention(q, k, v)))
         return out

@@ -11,6 +11,9 @@
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 import numpy as np
 
 from .init import ParamFactory
@@ -19,6 +22,7 @@ from .layers import Linear
 __all__ = [
     "PatchEmbed",
     "sincos_position_embedding",
+    "clear_sincos_cache",
     "RandomFourierPositionEncoding",
     "TokenEmbedding",
 ]
@@ -52,10 +56,49 @@ class PatchEmbed:
         return self.proj(np.ascontiguousarray(patches)), (gh, gw)
 
 
+# sincos_position_embedding is pure in (grid, dim) but recomputed on every
+# set_image; a tiny keyed LRU makes the second encode of any grid shape free.
+# Thread-safety: entries are computed outside the lock (two threads may race
+# to compute the same key — both get correct values, last write wins) and the
+# OrderedDict itself is only touched under ``_SINCOS_LOCK``.  Cached arrays
+# are returned directly but marked read-only so no caller can corrupt them.
+_SINCOS_LOCK = threading.Lock()
+_SINCOS_CACHE: OrderedDict[tuple[int, int, int], np.ndarray] = OrderedDict()
+_SINCOS_CACHE_MAX = 32
+
+
+def clear_sincos_cache() -> None:
+    """Drop every cached positional-embedding table (tests, memory pressure)."""
+    with _SINCOS_LOCK:
+        _SINCOS_CACHE.clear()
+
+
 def sincos_position_embedding(grid: tuple[int, int], dim: int) -> np.ndarray:
-    """Fixed 2-D sine/cosine positional embedding, shape ``(gh*gw, dim)``."""
+    """Fixed 2-D sine/cosine positional embedding, shape ``(gh*gw, dim)``.
+
+    Results are cached per ``(gh, gw, dim)`` (LRU, small) and returned as
+    read-only arrays — callers add them into fresh token buffers.
+    """
     if dim % 4 != 0:
         raise ValueError(f"dim must be divisible by 4, got {dim}")
+    gh, gw = grid
+    key = (int(gh), int(gw), int(dim))
+    with _SINCOS_LOCK:
+        hit = _SINCOS_CACHE.get(key)
+        if hit is not None:
+            _SINCOS_CACHE.move_to_end(key)
+            return hit
+    table = _compute_sincos((gh, gw), dim)
+    table.setflags(write=False)
+    with _SINCOS_LOCK:
+        _SINCOS_CACHE[key] = table
+        _SINCOS_CACHE.move_to_end(key)
+        while len(_SINCOS_CACHE) > _SINCOS_CACHE_MAX:
+            _SINCOS_CACHE.popitem(last=False)
+    return table
+
+
+def _compute_sincos(grid: tuple[int, int], dim: int) -> np.ndarray:
     gh, gw = grid
     quarter = dim // 4
     omega = 1.0 / (10000.0 ** (np.arange(quarter, dtype=np.float64) / quarter))

@@ -9,16 +9,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .init import ParamFactory
 
 __all__ = ["Linear", "LayerNorm", "gelu", "softmax", "Mlp", "relu"]
 
 
 def gelu(x: np.ndarray) -> np.ndarray:
-    """GELU with the tanh approximation used by ViT/SAM."""
-    x = np.asarray(x, dtype=np.float32)
-    c = np.float32(np.sqrt(2.0 / np.pi))
-    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+    """GELU with the tanh approximation used by ViT/SAM.
+
+    Delegates to the in-place kernel (``x*x*x`` cubic on a private copy);
+    every consumer shares one op sequence, so serial/batched/blocked paths
+    agree bitwise within a version.
+    """
+    return kernels.gelu(x)
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -59,10 +63,7 @@ class LayerNorm:
         self.eps = np.float32(eps)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float32)
-        mu = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
-        return (x - mu) / np.sqrt(var + self.eps) * self.gamma + self.beta
+        return kernels.layernorm(x, self.gamma, self.beta, self.eps)
 
 
 class Mlp:
@@ -73,4 +74,5 @@ class Mlp:
         self.fc2 = Linear(params, f"{name}.fc2", hidden, dim)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.fc2(gelu(self.fc1(x)))
+        # fc1's output is a fresh array, so the GELU can run in place.
+        return self.fc2(kernels.gelu_(self.fc1(x)))

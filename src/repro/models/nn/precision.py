@@ -1,0 +1,127 @@
+"""Process-wide numeric precision policy for the NumPy kernel fast path.
+
+Two tiers govern every kernel in :mod:`repro.models.nn.kernels`:
+
+* ``exact`` (the default) — bit-identical fp32 math.  Everything the repo
+  treats as contractual stays contractual: checkpoint/resume reproduces
+  masks bit-for-bit, batched and serial encoders agree to the last ulp,
+  cache keys address the same bytes, golden tests stay green with zero
+  tolerance changes.
+* ``fast`` — reduced-precision tier: activations may be stored fp16
+  between transformer blocks, attention streams through an online-softmax
+  accumulator with reordered (but fp32-accumulated) reductions, and
+  transcendentals may use cheaper approximations.  Outputs are close
+  (documented tolerances in tests/test_nn_kernels.py) but NOT bit-stable
+  across code versions.
+
+The active tier is folded into :func:`repro.cache.config_fingerprint`, so
+content-addressed cache entries (including the disk tier shared across
+processes) never mix tiers: an embedding computed under ``fast`` can never
+satisfy an ``exact`` lookup, and vice versa.
+
+Selection precedence: explicit :func:`set_precision` / :func:`precision`
+scope > ``REPRO_PRECISION`` environment variable > ``exact``.
+
+Thread-safety note: the policy is a single process-wide value guarded by a
+lock — the same model as the process-global cache.  Worker *threads* all
+see one tier; scoping :func:`precision` around code that other threads are
+concurrently running will affect them too.  Worker *processes* (the decode
+pool) inherit the tier via fork or re-derive it from ``REPRO_PRECISION``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "EXACT",
+    "FAST",
+    "TIERS",
+    "get_precision",
+    "set_precision",
+    "precision",
+    "is_fast",
+    "precision_tag",
+    "activation_dtype",
+]
+
+EXACT = "exact"
+FAST = "fast"
+TIERS = (EXACT, FAST)
+
+_ENV_VAR = "REPRO_PRECISION"
+_lock = threading.Lock()
+#: None = "not explicitly set; consult the environment on every read" so a
+#: forked worker whose parent never called set_precision() still honours
+#: REPRO_PRECISION exported after import time.
+_override: str | None = None
+
+
+def _validate(tier: str) -> str:
+    t = str(tier).strip().lower()
+    if t not in TIERS:
+        raise ValueError(f"unknown precision tier {tier!r}; expected one of {TIERS}")
+    return t
+
+
+def get_precision() -> str:
+    """The active tier: explicit override > ``REPRO_PRECISION`` > ``exact``."""
+    with _lock:
+        if _override is not None:
+            return _override
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        try:
+            return _validate(env)
+        except ValueError:
+            # A typo in the environment must not silently flip numerics to
+            # an unintended tier; fail closed to exact.
+            return EXACT
+    return EXACT
+
+
+def set_precision(tier: str | None) -> str | None:
+    """Set the process-wide tier; returns the previous override.
+
+    ``None`` clears the override (falls back to the environment/default).
+    """
+    global _override
+    validated = None if tier is None else _validate(tier)
+    with _lock:
+        previous = _override
+        _override = validated
+    return previous
+
+
+@contextmanager
+def precision(tier: str):
+    """Scope a tier over a block: ``with precision("fast"): ...``.
+
+    Because cache fingerprints capture the tier at computation time, model
+    objects built inside the scope stay internally consistent; predictors
+    built *outside* and used *inside* will simply miss-and-recompute under
+    the scoped tier's keys.
+    """
+    previous = set_precision(tier)
+    try:
+        yield get_precision()
+    finally:
+        set_precision(previous)
+
+
+def is_fast() -> bool:
+    return get_precision() == FAST
+
+
+def precision_tag() -> str:
+    """Stable fingerprint component, e.g. ``precision=exact``."""
+    return f"precision={get_precision()}"
+
+
+def activation_dtype():
+    """Storage dtype for inter-block activations under the active tier."""
+    import numpy as np
+
+    return np.float16 if is_fast() else np.float32

@@ -7,6 +7,7 @@ import numpy as np
 from .attention import MultiHeadAttention
 from .init import ParamFactory
 from .layers import LayerNorm, Mlp
+from .precision import activation_dtype, is_fast
 
 __all__ = ["TransformerBlock", "TransformerEncoder", "TwoWayBlock"]
 
@@ -21,9 +22,18 @@ class TransformerBlock:
         self.mlp = Mlp(params, f"{name}.mlp", dim, int(dim * mlp_ratio))
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        x = x + self.attn(self.norm1(x))
-        x = x + self.mlp(self.norm2(x))
-        return x
+        # Residual adds accumulate into the fresh sub-layer outputs (IEEE
+        # addition commutes, so h + x is bit-identical to x + h); the
+        # caller's array is never mutated.
+        h = self.attn(self.norm1(x))
+        h += x
+        out = self.mlp(self.norm2(h))
+        out += h
+        if is_fast():
+            # Fast tier: store inter-block activations fp16 (compute stays
+            # fp32 — every kernel upcasts on entry).
+            return out.astype(activation_dtype())
+        return out
 
 
 class TransformerEncoder:

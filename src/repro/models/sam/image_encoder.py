@@ -6,9 +6,18 @@ attend within local windows of the patch grid, with periodic global blocks
 for cross-window information flow.  Weights are deterministic random (see
 :mod:`repro.models.nn.init`) since pretrained checkpoints are unavailable
 offline; downstream consumers treat the embedding as opaque.
+
+Both the single-image ``__call__`` and :meth:`ImageEncoderViT.encode_batch`
+run one shared batched token path ``(B, tokens, dim)``: windowed blocks
+fold the batch into the window axis (``B·n_windows`` leading slices per
+attention call), so encoding N slices together amortises every gemm while
+staying bit-identical to N serial calls (batched matmuls are per-slice
+bit-stable on this BLAS; all other ops are element- or row-wise).
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -19,27 +28,46 @@ from ..nn.layers import LayerNorm
 __all__ = ["ImageEncoderViT"]
 
 
-def _window_partition(x: np.ndarray, gh: int, gw: int, win: int) -> tuple[np.ndarray, tuple[int, int]]:
-    """(gh*gw, C) tokens → (n_windows, win*win, C), padding the grid."""
-    c = x.shape[-1]
-    grid = x.reshape(gh, gw, c)
+def _window_partition_batch(x: np.ndarray, gh: int, gw: int, win: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """(B, gh*gw, C) tokens → (B*n_windows, win*win, C), padding the grid."""
+    b, _, c = x.shape
+    grid = x.reshape(b, gh, gw, c)
     ph = (win - gh % win) % win
     pw = (win - gw % win) % win
     if ph or pw:
-        grid = np.pad(grid, ((0, ph), (0, pw), (0, 0)), mode="edge")
-    hh, ww = grid.shape[:2]
-    grid = grid.reshape(hh // win, win, ww // win, win, c)
-    windows = grid.transpose(0, 2, 1, 3, 4).reshape(-1, win * win, c)
-    return np.ascontiguousarray(windows), (hh, ww)
+        grid = np.pad(grid, ((0, 0), (0, ph), (0, pw), (0, 0)), mode="edge")
+    hh, ww = grid.shape[1:3]
+    grid = grid.reshape(b, hh // win, win, ww // win, win, c)
+    # Reshaping the transposed view already lands in one C-contiguous copy;
+    # the historical extra ascontiguousarray pass is dead weight.
+    windows = grid.transpose(0, 1, 3, 2, 4, 5).reshape(-1, win * win, c)
+    return windows, (hh, ww)
+
+
+def _window_unpartition_batch(
+    windows: np.ndarray, b: int, padded: tuple[int, int], gh: int, gw: int, win: int
+) -> np.ndarray:
+    """Inverse of :func:`_window_partition_batch`, cropping the padding."""
+    hh, ww = padded
+    c = windows.shape[-1]
+    grid = (
+        windows.reshape(b, hh // win, ww // win, win, win, c)
+        .transpose(0, 1, 3, 2, 4, 5)
+        .reshape(b, hh, ww, c)
+    )
+    if (hh, ww) == (gh, gw):
+        return grid.reshape(b, gh * gw, c)  # contiguous view, no copy
+    return grid[:, :gh, :gw].reshape(b, gh * gw, c)
+
+
+def _window_partition(x: np.ndarray, gh: int, gw: int, win: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """(gh*gw, C) tokens → (n_windows, win*win, C), padding the grid."""
+    return _window_partition_batch(x[None], gh, gw, win)
 
 
 def _window_unpartition(windows: np.ndarray, padded: tuple[int, int], gh: int, gw: int, win: int) -> np.ndarray:
     """Inverse of :func:`_window_partition`, cropping the padding."""
-    hh, ww = padded
-    c = windows.shape[-1]
-    grid = windows.reshape(hh // win, ww // win, win, win, c).transpose(0, 2, 1, 3, 4)
-    grid = grid.reshape(hh, ww, c)[:gh, :gw]
-    return np.ascontiguousarray(grid.reshape(gh * gw, c))
+    return _window_unpartition_batch(windows, 1, padded, gh, gw, win)[0]
 
 
 class ImageEncoderViT:
@@ -97,15 +125,17 @@ class ImageEncoderViT:
             image = np.pad(image, pad, mode="edge")
         return image
 
-    def __call__(self, image: np.ndarray) -> np.ndarray:
-        """Encode a float [0,1] image → ``(gh, gw, out_chans)`` embeddings."""
+    def _prepare_image(self, image: np.ndarray) -> np.ndarray:
         img = np.asarray(image, dtype=np.float32)
         if img.ndim == 2 and self.in_chans == 3:
             img = np.repeat(img[:, :, None], 3, axis=2)
         if img.ndim == 3 and self.in_chans == 1:
             img = img.mean(axis=2)
-        img = self._pad(img)
-        tokens, (gh, gw) = self.patch_embed(img)
+        return self._pad(img)
+
+    def _encode_tokens(self, tokens: np.ndarray, gh: int, gw: int) -> np.ndarray:
+        """Run ``(B, gh*gw, dim)`` tokens through the trunk → ``(B, gh, gw, out)``."""
+        b = tokens.shape[0]
         tokens = tokens + sincos_position_embedding((gh, gw), tokens.shape[-1])
         for i, block in enumerate(self.blocks):
             use_window = (
@@ -114,11 +144,40 @@ class ImageEncoderViT:
                 and min(gh, gw) > self.window_size
             )
             if use_window:
-                windows, padded = _window_partition(tokens, gh, gw, self.window_size)
-                windows = block(windows)  # batched over windows
-                tokens = _window_unpartition(windows, padded, gh, gw, self.window_size)
+                windows, padded = _window_partition_batch(tokens, gh, gw, self.window_size)
+                windows = block(windows)  # batched over slices × windows
+                tokens = _window_unpartition_batch(windows, b, padded, gh, gw, self.window_size)
             else:
                 tokens = block(tokens)
         tokens = self.final_norm(tokens)
         out = self.neck(tokens)
-        return np.ascontiguousarray(out.reshape(gh, gw, self.out_chans))
+        return np.ascontiguousarray(out.reshape(b, gh, gw, self.out_chans))
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        """Encode a float [0,1] image → ``(gh, gw, out_chans)`` embeddings."""
+        img = self._prepare_image(image)
+        tokens, (gh, gw) = self.patch_embed(img)
+        return self._encode_tokens(tokens[None], gh, gw)[0]
+
+    def encode_batch(self, images: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Encode N images in stacked batches, bit-identical to N ``__call__``s.
+
+        Images are grouped by padded grid shape (mixed shapes are fine);
+        each group runs the trunk once at ``(B, tokens, dim)``.  Returns one
+        owning ``(gh, gw, out_chans)`` array per input, in input order.
+        """
+        if not images:
+            return []
+        embedded = [self.patch_embed(self._prepare_image(im)) for im in images]
+        groups: dict[tuple[int, int], list[int]] = {}
+        for idx, (_, grid) in enumerate(embedded):
+            groups.setdefault(grid, []).append(idx)
+        results: list[np.ndarray | None] = [None] * len(embedded)
+        for (gh, gw), idxs in groups.items():
+            stack = np.stack([embedded[i][0] for i in idxs])
+            outs = self._encode_tokens(stack, gh, gw)
+            for j, i in enumerate(idxs):
+                # Copy so each result owns its memory instead of pinning the
+                # whole batch via a view.
+                results[i] = outs[j].copy()
+        return results

@@ -104,8 +104,13 @@ class SamPredictor:
             raise PromptError("call set_image before predicting")
         return self._ctx
 
-    def set_image(self, image: np.ndarray) -> None:
-        """Encode a float [0,1] grayscale image; heavy work happens once here."""
+    @staticmethod
+    def _normalize_image(image: np.ndarray) -> np.ndarray:
+        """Shared set_image/precompute_images normalisation and validation.
+
+        Both paths must produce byte-identical arrays — the cache key hashes
+        the normalised content, so any divergence here would split the keys.
+        """
         img = np.asarray(image, dtype=np.float32)
         if img.ndim == 3:
             img = img.mean(axis=2)
@@ -113,6 +118,11 @@ class SamPredictor:
             raise PromptError(f"set_image expects HxW (or HxWxC) array, got shape {img.shape}")
         if img.min() < -1e-4 or img.max() > 1 + 1e-4:
             raise PromptError("set_image expects a [0,1] float image; run the adaptation layer first")
+        return img
+
+    def set_image(self, image: np.ndarray) -> None:
+        """Encode a float [0,1] grayscale image; heavy work happens once here."""
+        img = self._normalize_image(image)
         self._image = img
         self._image_key = combine_keys(array_content_key(img), self._fingerprint)
         cached = self.cache.get("sam.image", self._image_key)
@@ -130,6 +140,41 @@ class SamPredictor:
             "sam.dense_pe", pe_key, lambda: self.sam.prompt_encoder.dense_pe((gh, gw))
         )
         self.last_decoder_output = None
+
+    def precompute_images(self, images) -> dict[str, int]:
+        """Warm the ``sam.image`` cache for N images in one batched encode.
+
+        Computes exactly the ``(embedding, analytic context)`` tuple that
+        :meth:`set_image` would store, under the identical content key, so
+        a later ``set_image`` on any of these images — in this process or
+        any replica sharing the disk tier — is a pure cache hit.  Images
+        already cached (or repeated within the batch) are skipped.
+
+        Returns ``{"hits": already-cached, "encoded": newly-computed}``.
+        With caching disabled this is a no-op: there is nowhere to put the
+        embeddings, so batching would be pure waste.
+        """
+        if not self.cache.enabled:
+            return {"hits": 0, "encoded": 0}
+        normalized: list[np.ndarray] = []
+        keys: list[str] = []
+        for image in images:
+            img = self._normalize_image(image)
+            normalized.append(img)
+            keys.append(combine_keys(array_content_key(img), self._fingerprint))
+        pending: list[int] = []
+        seen: set[str] = set()
+        for i, key in enumerate(keys):
+            if key in seen or self.cache.get("sam.image", key) is not MISS:
+                continue
+            seen.add(key)
+            pending.append(i)
+        if pending:
+            embeddings = self.sam.image_encoder.encode_batch([normalized[i] for i in pending])
+            for i, embedding in zip(pending, embeddings):
+                ctx = self.sam.analytic.prepare(normalized[i])
+                self.cache.put("sam.image", keys[i], (embedding, ctx))
+        return {"hits": len(keys) - len(pending), "encoded": len(pending)}
 
     def reset_image(self) -> None:
         self._image = None

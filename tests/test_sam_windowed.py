@@ -8,8 +8,30 @@ from repro.models.nn.init import ParamFactory
 from repro.models.sam.image_encoder import (
     ImageEncoderViT,
     _window_partition,
+    _window_partition_batch,
     _window_unpartition,
+    _window_unpartition_batch,
 )
+
+
+def _legacy_window_partition(x, gh, gw, win):
+    """The historical copy-per-block implementation, kept as a reference.
+
+    The production path dropped its trailing ``ascontiguousarray`` (the
+    reshape after the 6-D transpose already materialises one contiguous
+    copy); this reference pins the exact original semantics so the
+    restructure is provably behaviour-preserving.
+    """
+    c = x.shape[-1]
+    grid = x.reshape(gh, gw, c)
+    ph = (win - gh % win) % win
+    pw = (win - gw % win) % win
+    if ph or pw:
+        grid = np.pad(grid, ((0, ph), (0, pw), (0, 0)), mode="edge")
+    hh, ww = grid.shape[:2]
+    grid = grid.reshape(hh // win, win, ww // win, win, c)
+    windows = grid.transpose(0, 2, 1, 3, 4).reshape(-1, win * win, c)
+    return np.ascontiguousarray(windows), (hh, ww)
 
 
 class TestWindowPartition:
@@ -38,6 +60,32 @@ class TestWindowPartition:
         windows, _ = _window_partition(x, gh, gw, win)
         assert windows[0].sum() == 1.0
         assert windows[1:].sum() == 0.0
+
+    @pytest.mark.parametrize("gh,gw,win", [(8, 8, 4), (7, 9, 4), (5, 5, 2), (3, 3, 4), (6, 10, 3)])
+    def test_matches_legacy_copying_implementation(self, rng, gh, gw, win):
+        # Satellite: the restructured partition must be bit-for-bit what the
+        # old ascontiguousarray-per-block version produced, padding included.
+        x = rng.random((gh * gw, 5)).astype(np.float32)
+        new_w, new_pad = _window_partition(x, gh, gw, win)
+        old_w, old_pad = _legacy_window_partition(x, gh, gw, win)
+        assert new_pad == old_pad
+        assert new_w.shape == old_w.shape
+        assert np.array_equal(new_w, old_w)
+        assert new_w.flags.c_contiguous
+        back = _window_unpartition(new_w, new_pad, gh, gw, win)
+        assert np.array_equal(back, x)
+
+    @pytest.mark.parametrize("gh,gw,win", [(8, 8, 4), (7, 9, 4)])
+    def test_batched_partition_equals_per_slice(self, rng, gh, gw, win):
+        # The B-folded partition used by encode_batch is exactly the
+        # concatenation of per-slice partitions, and it round-trips.
+        b = 3
+        x = rng.random((b, gh * gw, 5)).astype(np.float32)
+        batched, padded = _window_partition_batch(x, gh, gw, win)
+        per_slice = [_window_partition(x[i], gh, gw, win)[0] for i in range(b)]
+        assert np.array_equal(batched, np.concatenate(per_slice, axis=0))
+        back = _window_unpartition_batch(batched, b, padded, gh, gw, win)
+        assert np.array_equal(back, x)
 
 
 class TestWindowedEncoder:
