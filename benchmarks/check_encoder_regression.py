@@ -1,12 +1,24 @@
-"""Gate encoder throughput against the committed BENCH_encoder.json.
+"""Gate encoder speedups against the committed BENCH_encoder.json.
 
 Usage::
 
     python benchmarks/check_encoder_regression.py BASELINE CURRENT [--max-drop 0.20]
 
-Compares ``tokens_per_s`` per config present in *both* files and exits
-non-zero when any config regresses by more than ``--max-drop`` (default
-20%).  Configs only present on one side are reported but never fail the
+Compares the ``speedups`` section — each config's tokens/s as a ratio over
+the ``naive_serial`` reference *measured in the same run* — for every key
+present in *both* files, and exits non-zero when any ratio drops by more
+than ``--max-drop`` (default 20%) relative to the committed baseline ratio.
+
+Same-run ratios are the only numbers comparable across machines: the
+committed baseline is measured on a dev box while CI runs on shared
+runners of unpredictable speed (and a reduced ``REPRO_BENCH_QUICK``
+matrix with fewer slices/repeats), so absolute tokens/s would fail
+spuriously on any runner slower than the baseline host.  Dividing by the
+same run's naive-serial throughput cancels the hardware term; what is
+left is the kernel-layer speedup this gate actually protects.  Absolute
+tokens/s per side is still printed, but informationally only.
+
+Speedup keys only present on one side are reported but never fail the
 check (the reduced CI matrix measures a subset of the committed full
 matrix).
 
@@ -30,24 +42,29 @@ from pathlib import Path
 def compare(baseline: dict, current: dict, max_drop: float) -> list[str]:
     """Return failure lines; empty means the check passes."""
     failures = []
-    base_results = baseline.get("results", {})
-    cur_results = current.get("results", {})
-    for name in sorted(base_results):
-        if name not in cur_results:
-            print(f"  {name:<22} not in current run (reduced matrix) — skipped")
+    base_speedups = baseline.get("speedups", {})
+    cur_speedups = current.get("speedups", {})
+    for name in sorted(base_speedups):
+        if name not in cur_speedups:
+            print(f"  {name:<42} not in current run (reduced matrix) — skipped")
             continue
-        base = base_results[name]["tokens_per_s"]
-        cur = cur_results[name]["tokens_per_s"]
+        base = base_speedups[name]
+        cur = cur_speedups[name]
         ratio = cur / base if base else float("inf")
         status = "ok" if ratio >= 1.0 - max_drop else "REGRESSED"
-        print(f"  {name:<22} baseline {base:>9.1f}  current {cur:>9.1f}  ({ratio:.2f}x) {status}")
+        print(f"  {name:<42} baseline {base:>6.2f}x  current {cur:>6.2f}x  ({ratio:.2f}) {status}")
         if ratio < 1.0 - max_drop:
             failures.append(
-                f"{name}: {cur:.1f} tok/s is {(1.0 - ratio) * 100:.1f}% below baseline "
-                f"{base:.1f} (allowed drop {max_drop * 100:.0f}%)"
+                f"{name}: speedup {cur:.2f}x is {(1.0 - ratio) * 100:.1f}% below baseline "
+                f"{base:.2f}x (allowed drop {max_drop * 100:.0f}%)"
             )
-    for name in sorted(set(cur_results) - set(base_results)):
-        print(f"  {name:<22} new config (no baseline) — informational only")
+    for name in sorted(set(cur_speedups) - set(base_speedups)):
+        print(f"  {name:<42} new speedup key (no baseline) — informational only")
+    # Absolute throughput is machine-dependent (different runner classes,
+    # quick-matrix slice counts); print it for the log, never gate on it.
+    for label, report in (("baseline", baseline), ("current", current)):
+        for name, cfg in sorted(report.get("results", {}).items()):
+            print(f"    [{label}] {name:<22} {cfg['tokens_per_s']:>9.1f} tok/s (informational)")
     return failures
 
 
@@ -60,10 +77,10 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
-    print(f"encoder throughput vs {args.baseline} (max drop {args.max_drop * 100:.0f}%):")
+    print(f"encoder speedups vs {args.baseline} (max drop {args.max_drop * 100:.0f}%):")
     failures = compare(baseline, current, args.max_drop)
     if failures:
-        print("\nFAIL: encoder throughput regression", file=sys.stderr)
+        print("\nFAIL: encoder speedup regression", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         print(
@@ -72,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print("encoder throughput OK")
+    print("encoder speedups OK")
     return 0
 
 

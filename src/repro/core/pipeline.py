@@ -53,7 +53,17 @@ __all__ = ["ZenesisConfig", "ZenesisPipeline"]
 
 @dataclass(frozen=True)
 class ZenesisConfig:
-    """End-to-end pipeline configuration."""
+    """End-to-end pipeline configuration.
+
+    ``__fingerprint_exclude__`` lists pure performance knobs — settings
+    whose value never changes a single output byte (batched and serial
+    encoding are bit-identical by construction, pinned in
+    ``tests/test_sam_encode_batch.py``).  They are left out of
+    :func:`~repro.cache.config_fingerprint` so retuning throughput does
+    not invalidate caches, checkpoints, or durable job identities.
+    """
+
+    __fingerprint_exclude__ = frozenset({"encode_batch_size"})
 
     dino_name: str = "swin_t"
     sam_name: str = "vit_t"

@@ -91,6 +91,9 @@ class JobGuard:
 
 #: Per-process pipeline memo so the inline (single-partition) pool path does
 #: not rebuild models every round; forked children inherit it copy-on-write.
+#: Keyed by config_fingerprint, which deliberately excludes output-invariant
+#: perf knobs (ZenesisConfig.__fingerprint_exclude__): configs differing only
+#: there share one pipeline — same bytes out, only throughput differs.
 _PIPELINE_MEMO: dict[str, ZenesisPipeline] = {}
 
 

@@ -35,6 +35,7 @@ from ..errors import ModelConfigError
 from ..utils.rng import derive_seed
 from .features import FEATURE_NAMES, FeatureGrid, PatchFeatureExtractor
 from .nn import ParamFactory, TransformerEncoder, attention_scores
+from .nn.precision import get_precision
 from .text import ConceptLexicon, TextEncoding, default_lexicon
 
 __all__ = ["DinoConfig", "Detection", "GroundingDino"]
@@ -100,7 +101,7 @@ class GroundingDino:
         self.config = config or DinoConfig()
         self.lexicon = lexicon or default_lexicon()
         self.cache = cache if cache is not None else get_cache()
-        self._config_fp = config_fingerprint(self.config)
+        self._config_fps: dict[str, str] = {}
         params = ParamFactory(derive_seed(self.config.seed, "groundingdino"))
         self.extractor = PatchFeatureExtractor(stride=self.config.stride)
         # Shared orthonormal alignment: QR of a seeded Gaussian matrix.
@@ -130,9 +131,24 @@ class GroundingDino:
 
     # -- encoding -----------------------------------------------------------
 
+    def _config_fp(self) -> str:
+        """Config fingerprint under the ACTIVE precision tier (per-tier memo).
+
+        Resolved per cache lookup rather than snapshotted at construction:
+        the tier can change after the detector exists, and the text/image
+        encoders route through the precision-sensitive kernels — a stale
+        snapshot would mix fast-tier products into exact-tier keys.
+        """
+        tier = get_precision()
+        fp = self._config_fps.get(tier)
+        if fp is None:
+            fp = config_fingerprint(self.config)
+            self._config_fps[tier] = fp
+        return fp
+
     def _fingerprint(self) -> str:
         """Config ⊕ lexicon content hash: any calibration invalidates text caches."""
-        return combine_keys(self._config_fp, self.lexicon.fingerprint())
+        return combine_keys(self._config_fp(), self.lexicon.fingerprint())
 
     def encode_text(self, prompt: str) -> tuple[TextEncoding, np.ndarray, np.ndarray]:
         """Ground a prompt; returns (encoding, Q embeddings, token weights).
@@ -167,7 +183,7 @@ class GroundingDino:
         the key because the image side is prompt-independent.
         """
         img = np.asarray(image)
-        key = combine_keys(array_content_key(img), self._config_fp)
+        key = combine_keys(array_content_key(img), self._config_fp())
         return self.cache.get_or_compute(
             "dino.image", key, lambda: self._encode_image(img)
         )
@@ -185,7 +201,7 @@ class GroundingDino:
         architectural stream; grounding scores use the analytic alignment.
         """
         img = np.asarray(image)
-        key = combine_keys(array_content_key(img), self._config_fp)
+        key = combine_keys(array_content_key(img), self._config_fp())
         cached = self.cache.get("dino.image_hier", key)
         if cached is not MISS:
             return cached

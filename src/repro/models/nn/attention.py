@@ -66,8 +66,11 @@ class MultiHeadAttention:
         self.out_proj = Linear(params, f"{name}.out", self.inner, dim)
         # Self-attention runs Q/K/V as ONE gemm against the column-fused
         # weight; possible whenever queries and keys share the input dim.
-        # Parameter names/values are untouched — this is a view of the same
-        # Linear weights, so checkpoints and fingerprints are unaffected.
+        # fuse_linear COPIES the Linear weights (np.concatenate) at
+        # construction time — Linear parameters are immutable after init
+        # (no in-place loading path exists), so the copy cannot go stale;
+        # anyone adding one must re-fuse here.  Parameter names/values are
+        # untouched, so checkpoints and fingerprints are unaffected.
         self._w_qkv: np.ndarray | None = None
         self._b_qkv: np.ndarray | None = None
         if kv_dim == dim:

@@ -305,6 +305,11 @@ def fuse_linear(
     ``x @ fused`` sliced column-wise is bit-identical to the separate
     ``x @ w_i`` products (each output column is the same dot product), so
     fusing Q/K/V is exact-tier safe.  All weights must share ``d_in``.
+
+    The result is a COPY, not a view: mutating the source weights in place
+    afterwards (e.g. a future checkpoint-loading path) would silently
+    desynchronise the fused and per-projection paths — such a path must
+    re-fuse.  Today Linear parameters are immutable after construction.
     """
     fused_w = np.ascontiguousarray(np.concatenate(weights, axis=1))
     if any(b is None for b in biases):

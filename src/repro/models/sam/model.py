@@ -21,6 +21,7 @@ from ...cache import MISS, InferenceCache, array_content_key, combine_keys, conf
 from ...errors import ModelConfigError, PromptError
 from ...utils.rng import derive_seed
 from ..nn import ParamFactory
+from ..nn.precision import get_precision
 from .analytic import AnalyticContext, AnalyticMaskHead, MaskHypothesis
 from .image_encoder import ImageEncoderViT
 from .mask_decoder import DecoderOutput, MaskDecoder
@@ -85,14 +86,33 @@ class SamPredictor:
     def __init__(self, sam: Sam | None = None, *, cache: InferenceCache | None = None) -> None:
         self.sam = sam or Sam()
         self.cache = cache if cache is not None else get_cache()
-        # Any config or analytic-head change invalidates every cached product.
-        self._fingerprint = config_fingerprint(self.sam.config, self.sam.analytic)
+        self._fingerprints: dict[str, str] = {}
         self._image: np.ndarray | None = None
         self._image_key: str | None = None
         self._embedding: np.ndarray | None = None
         self._dense_pe: np.ndarray | None = None
         self._ctx: AnalyticContext | None = None
         self.last_decoder_output: DecoderOutput | None = None
+
+    @property
+    def _fingerprint(self) -> str:
+        """Cache-key fingerprint: config ⊕ analytic head ⊕ ACTIVE precision tier.
+
+        Resolved at every key construction, not snapshotted in ``__init__``:
+        ``set_precision()`` / the ``precision()`` scope may flip the tier
+        after this predictor exists, and a construction-time snapshot would
+        file fast-tier embeddings under exact-tier keys — poisoning the
+        shared (disk-tier) cache with non-bit-exact entries.  Any config or
+        analytic-head change still invalidates every cached product.
+        """
+        tier = get_precision()
+        fp = self._fingerprints.get(tier)
+        if fp is None:
+            # config_fingerprint folds in precision_tag() for the tier that
+            # is active right now, so memoising per tier is exact.
+            fp = config_fingerprint(self.sam.config, self.sam.analytic)
+            self._fingerprints[tier] = fp
+        return fp
 
     @property
     def is_image_set(self) -> bool:

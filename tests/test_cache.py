@@ -92,6 +92,27 @@ class TestConfigFingerprint:
     def test_combine_keys(self):
         assert combine_keys("a", "b", "c") == "a|b|c"
 
+    def test_fingerprint_exclude_skips_declared_fields(self):
+        @dataclass(frozen=True)
+        class _Tuned:
+            __fingerprint_exclude__ = frozenset({"batch"})
+            sigma: float = 1.5
+            batch: int = 8
+
+        base = config_fingerprint(_Tuned())
+        assert config_fingerprint(_Tuned(batch=64)) == base  # perf knob: same key
+        assert config_fingerprint(_Tuned(sigma=2.0)) != base  # real knob: new key
+
+    def test_encode_batch_size_excluded_from_pipeline_fingerprint(self):
+        # encode_batch_size is output-invariant (batched == serial bit-exactly),
+        # so retuning it must not invalidate caches, checkpoints, or job ids.
+        from repro.core.pipeline import ZenesisConfig
+
+        base = config_fingerprint(ZenesisConfig())
+        assert config_fingerprint(ZenesisConfig(encode_batch_size=1)) == base
+        assert config_fingerprint(ZenesisConfig(encode_batch_size=64)) == base
+        assert config_fingerprint(ZenesisConfig(box_threshold=0.5)) != base
+
 
 class TestMemoryTier:
     def test_lru_eviction_order(self):

@@ -127,6 +127,59 @@ class TestPrecomputeImages:
         assert calls == []
 
 
+class TestTierKeySegregation:
+    """The predictor resolves the precision tier at KEY time, not __init__.
+
+    A predictor built outside a ``precision("fast")`` scope and used inside
+    it must file its (fast-tier) embeddings under fast keys — never under
+    the contractually bit-exact tier's keys (REVIEW: cache poisoning).
+    """
+
+    def _predictor(self):
+        cache = InferenceCache(CacheConfig(enabled=True, disk_enabled=False))
+        sam = Sam(SamConfig(patch_size=16, encoder_dim=32, encoder_depth=2, encoder_heads=2))
+        return SamPredictor(sam, cache=cache), cache
+
+    def test_fingerprint_tracks_active_tier(self):
+        predictor, _ = self._predictor()
+        exact_fp = predictor._fingerprint
+        with precision("fast"):
+            assert predictor._fingerprint != exact_fp
+        assert predictor._fingerprint == exact_fp  # restored after the scope
+
+    def test_set_image_inside_fast_scope_uses_fast_keys(self, rng):
+        predictor, cache = self._predictor()
+        img = rng.random((64, 64)).astype(np.float32)
+        exact_key = combine_keys(array_content_key(img), predictor._fingerprint)
+        with precision("fast"):
+            predictor.set_image(img)
+            fast_key = combine_keys(array_content_key(img), predictor._fingerprint)
+            assert cache.get("sam.image", fast_key) is not MISS
+        assert fast_key != exact_key
+        assert cache.get("sam.image", exact_key) is MISS  # exact tier untouched
+
+    def test_precompute_inside_fast_scope_never_poisons_exact(self, rng):
+        predictor, cache = self._predictor()
+        imgs = [rng.random((64, 64)).astype(np.float32) for _ in range(2)]
+        with precision("fast"):
+            assert predictor.precompute_images(imgs) == {"hits": 0, "encoded": 2}
+        for img in imgs:
+            key = combine_keys(array_content_key(img), predictor._fingerprint)
+            assert cache.get("sam.image", key) is MISS
+        # An exact-tier warm-up therefore recomputes rather than serving
+        # fast-tier bytes.
+        assert predictor.precompute_images(imgs) == {"hits": 0, "encoded": 2}
+
+    def test_dino_keys_track_active_tier(self):
+        from repro.models.dino import GroundingDino
+
+        dino = GroundingDino()
+        exact_fp = dino._config_fp()
+        with precision("fast"):
+            assert dino._config_fp() != exact_fp
+        assert dino._config_fp() == exact_fp
+
+
 class TestPipelinePreencode:
     def test_volume_masks_identical_with_and_without_preencode(self):
         vol = make_sample("crystalline", shape=(64, 64), n_slices=3).volume.voxels
