@@ -1,0 +1,28 @@
+"""Multi-replica serving: coordinator, reverse-proxy router, hash ring.
+
+One deployment spans N :class:`~repro.platform.server.PlatformServer`
+replica *processes* sharing a jobs directory and the content-addressed disk
+cache, fronted by a stdlib reverse proxy with consistent-hash session
+affinity.  The :class:`ClusterCoordinator` spawns, health-checks, and
+restarts replicas; the :class:`ClusterRouter` routes, retries, and sheds.
+
+Failure model (DESIGN.md §"Cluster failure model"): a SIGKILL'd replica is
+detected by exitcode polling + failed ``/ready`` probes, its sessions fail
+over with an ``evicted: replica_failover`` marker, its leased jobs are
+reclaimed by surviving replicas through the lease/heartbeat machinery, and
+the coordinator restarts it under exponential backoff with a crash-loop
+circuit breaker.
+"""
+
+from .coordinator import ClusterCoordinator
+from .hashring import HashRing
+from .replica import ReplicaHandle
+from .router import IDEMPOTENT_ACTIONS, ClusterRouter
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterRouter",
+    "HashRing",
+    "ReplicaHandle",
+    "IDEMPOTENT_ACTIONS",
+]

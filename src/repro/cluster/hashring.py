@@ -1,0 +1,81 @@
+"""Consistent hashing for session → replica affinity.
+
+The ring holds *every configured* replica, alive or dead; routing walks
+clockwise from the key's point to the first replica in the caller's
+``alive`` set.  Keeping dead replicas on the ring is what makes the two
+affinity properties hold:
+
+* **minimal remap** — when a replica dies, only the keys it owned move
+  (each to the next live replica clockwise); everyone else's sessions stay
+  where they were;
+* **re-adoption** — when it comes back, exactly those keys return to it,
+  because its ring points never changed.
+
+Virtual nodes smooth the per-replica share: with ``vnodes`` points per
+replica the expected imbalance shrinks like ``1/sqrt(vnodes)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+__all__ = ["HashRing"]
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring position for a label (sha1, not ``hash()``:
+    Python's string hash is salted per process, and two replicas of one
+    cluster must agree on the ring)."""
+    return int.from_bytes(hashlib.sha1(label.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed set of node ids."""
+
+    def __init__(self, nodes: Iterable[int | str], *, vnodes: int = 64) -> None:
+        self.nodes: tuple = tuple(nodes)
+        if not self.nodes:
+            raise ValueError("HashRing needs at least one node")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        points: list[tuple[int, int | str]] = []
+        for node in self.nodes:
+            for v in range(self.vnodes):
+                points.append((_point(f"{node}#{v}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def node_for(self, key: str, alive: Sequence | set | None = None):
+        """The replica owning ``key``, restricted to the ``alive`` set.
+
+        ``alive=None`` means every configured node is eligible.  Returns
+        ``None`` when no eligible node exists (the router sheds with 503).
+        """
+        eligible = set(self.nodes) if alive is None else set(alive) & set(self.nodes)
+        if not eligible:
+            return None
+        start = bisect.bisect_right(self._points, _point(str(key)))
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner in eligible:
+                return owner
+        return None
+
+    def preference(self, key: str) -> list:
+        """Distinct nodes in clockwise order from ``key`` — the failover
+        order the router retries in (affine owner first)."""
+        start = bisect.bisect_right(self._points, _point(str(key)))
+        n = len(self._points)
+        seen: list = []
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self.nodes):
+                    break
+        return seen

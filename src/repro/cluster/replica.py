@@ -1,0 +1,215 @@
+"""One supervised replica: the subprocess entry point + its handle.
+
+A replica is a full :class:`~repro.platform.server.PlatformServer` in its
+own process (``python -m repro.cluster.replica``), sharing the jobs
+directory and the content-addressed disk cache with its peers.  The boot
+handshake is a *url file*: the replica binds (port 0 on first boot), then
+atomically writes ``http://host:port`` to ``--url-file`` so the coordinator
+learns the port without parsing stdout; restarts are passed the discovered
+port back so a replica keeps its address across its lifetimes (the listener
+is closed before draining on shutdown precisely so this rebind is
+immediate).
+
+Fault hook: ``replica_crash`` (REPRO_FAULTS, context ``replica=INDEX``)
+hard-exits at boot *before* the server binds — the crash-loop the
+coordinator's circuit breaker must contain.  A fresh process re-parses
+``REPRO_FAULTS``, so the default ``times=1`` budget fires on *every* boot:
+exactly the repeated-boot-crash shape a bad image/config produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ReplicaHandle", "spawn_replica", "main"]
+
+
+@dataclass
+class ReplicaHandle:
+    """Coordinator-side state for one replica slot (index is its ring id)."""
+
+    index: int
+    host: str
+    port: int  # 0 until the first boot's url-file handshake discovers it
+    process: subprocess.Popen | None = None
+    log_path: Path | None = None
+    url_file: Path | None = None
+    #: Last /ready probe verdict; only healthy replicas receive traffic.
+    healthy: bool = False
+    restarts: int = 0
+    deaths: int = 0
+    #: Monotonic instant before which the supervisor must not restart.
+    next_restart_at: float = 0.0
+    #: Current restart backoff (doubles per consecutive failure).
+    backoff_s: float = 0.0
+    #: True once the current incarnation has probed healthy at least once —
+    #: distinguishes a crash-after-serving (breaker success happened) from a
+    #: boot crash (consecutive failures accumulate toward the crash loop).
+    booted: bool = False
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def running(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def status(self) -> dict:
+        return {
+            "index": self.index,
+            "url": self.base_url if self.port else None,
+            "pid": self.pid,
+            "running": self.running,
+            "healthy": self.healthy,
+            "restarts": self.restarts,
+            "deaths": self.deaths,
+            "backoff_s": round(self.backoff_s, 3),
+        }
+
+
+def replica_argv(
+    handle: ReplicaHandle,
+    *,
+    jobs_dir: str | None,
+    replica_args: dict | None = None,
+) -> list[str]:
+    """The subprocess command line for (re)booting ``handle``."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cluster.replica",
+        "--host",
+        handle.host,
+        "--port",
+        str(handle.port),
+        "--replica-index",
+        str(handle.index),
+        "--url-file",
+        str(handle.url_file),
+    ]
+    if jobs_dir is not None:
+        argv += ["--jobs-dir", str(jobs_dir)]
+    for flag, value in (replica_args or {}).items():
+        if value is None:
+            continue
+        argv += [f"--{flag.replace('_', '-')}", str(value)]
+    return argv
+
+
+def spawn_replica(
+    handle: ReplicaHandle,
+    *,
+    jobs_dir: str | None,
+    replica_args: dict | None = None,
+    env: dict | None = None,
+) -> subprocess.Popen:
+    """Boot (or reboot) the replica process; stdout+stderr go to its log."""
+    if handle.url_file is not None:
+        handle.url_file.unlink(missing_ok=True)
+    log = open(handle.log_path, "ab") if handle.log_path is not None else subprocess.DEVNULL
+    try:
+        proc = subprocess.Popen(
+            replica_argv(handle, jobs_dir=jobs_dir, replica_args=replica_args),
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env if env is not None else os.environ.copy(),
+        )
+    finally:
+        if log is not subprocess.DEVNULL:
+            log.close()  # the child holds its own descriptor now
+    handle.process = proc
+    handle.booted = False
+    return proc
+
+
+def read_url_file(path: Path, *, timeout_s: float, process: subprocess.Popen | None = None) -> str | None:
+    """Wait for the boot handshake; None on timeout or early child death."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if path.exists():
+            text = path.read_text().strip()
+            if text:
+                return text
+        if process is not None and process.poll() is not None:
+            return None  # died before binding: a boot crash
+        time.sleep(0.02)
+    return None
+
+
+# -- subprocess entry ---------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.cluster.replica")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--replica-index", type=int, default=0)
+    parser.add_argument("--url-file", type=Path, default=None)
+    parser.add_argument("--jobs-dir", default=None)
+    parser.add_argument("--job-workers", type=int, default=1)
+    parser.add_argument("--job-lease-ttl", type=float, default=30.0)
+    parser.add_argument("--auto-job-slices", type=int, default=None)
+    parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--request-deadline", type=float, default=None)
+    parser.add_argument("--session-ttl", type=float, default=None)
+    parser.add_argument("--max-sessions", type=int, default=64)
+    parser.add_argument("--drain-timeout", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    from ..resilience.faults import get_fault_plan
+
+    # The boot-crash hook fires before the bind: a crash-looping replica
+    # never writes its url file, which is how the coordinator tells a boot
+    # failure from a crash while serving.
+    get_fault_plan().crash_if("replica_crash", replica=args.replica_index)
+
+    from ..platform.server import PlatformServer
+
+    server = PlatformServer(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        request_deadline_s=args.request_deadline,
+        session_ttl_s=args.session_ttl,
+        max_sessions=args.max_sessions,
+        drain_timeout_s=args.drain_timeout,
+        jobs_dir=args.jobs_dir,
+        job_workers=args.job_workers,
+        job_lease_ttl_s=args.job_lease_ttl,
+        auto_job_slices=args.auto_job_slices,
+    )
+    server.start()
+    if args.url_file is not None:
+        tmp = args.url_file.with_suffix(".tmp")
+        tmp.write_text(server.url)
+        tmp.replace(args.url_file)  # atomic: the coordinator never reads half a url
+
+    stop = threading.Event()
+
+    def _terminate(signum, frame):  # noqa: ARG001 - signal handler signature
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    print(f"replica {args.replica_index} serving at {server.url}", flush=True)
+    stop.wait()
+    server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

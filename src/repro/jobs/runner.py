@@ -28,6 +28,7 @@ the job-queue twin of ``volume_crash``.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import traceback
@@ -60,21 +61,57 @@ class JobGuard:
 
     Duck-types :class:`~repro.resilience.Deadline` for the parts the
     serving machinery uses (``check``/``remaining``/``clamp``/``expired``),
-    layering the job's cooperative cancel flag on top of an optional real
-    wall-clock budget.
+    layering the job's cooperative cancel flag — and, when ``worker_id`` is
+    given, a *lease-ownership* check — on top of an optional wall-clock
+    budget.  The ownership check is what stops a stalled worker from
+    finishing a job another replica already reclaimed and double-writing
+    the result: the moment the record names a different owner, the next
+    ``check`` aborts the round with :class:`JobCancelledError`.
+
+    Cross-process visibility: checks re-read the shared journal at most
+    every ``lease_check_s`` (rate-limited — a per-slice refresh would turn
+    every decode round into journal IO).
     """
 
-    def __init__(self, store: JobStore, job_id: str, deadline: Deadline | None = None) -> None:
+    def __init__(
+        self,
+        store: JobStore,
+        job_id: str,
+        deadline: Deadline | None = None,
+        *,
+        worker_id: str | None = None,
+        lease_check_s: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self._store = store
         self._job_id = job_id
         self._deadline = deadline
+        self._worker_id = None if worker_id is None else str(worker_id)
+        self._lease_check_s = float(lease_check_s)
+        self._clock = clock
+        self._last_refresh = clock()  # the record was just read at acquire
 
     def check(self, what: str = "job") -> None:
         if self._deadline is not None:
             self._deadline.check(what)
+        now = self._clock()
+        if now - self._last_refresh >= self._lease_check_s:
+            self._last_refresh = now
+            try:
+                self._store.refresh()
+            except Exception:
+                pass  # journal IO blip: keep the stale view; next check retries
         rec = self._store.maybe_get(self._job_id)
-        if rec is not None and rec.cancel_requested:
+        if rec is None:
+            return
+        if rec.cancel_requested:
             raise JobCancelledError(f"job {self._job_id} cancelled during {what}")
+        if self._worker_id is not None and rec.lease_owner != self._worker_id:
+            record_event("jobs.lease_lost_aborts")
+            raise JobCancelledError(
+                f"job {self._job_id} lease lost during {what} "
+                f"(owner is now {rec.lease_owner!r}); aborting this attempt"
+            )
 
     def remaining(self) -> float:
         return self._deadline.remaining() if self._deadline is not None else float("inf")
@@ -175,10 +212,27 @@ class JobRunner:
             return self
         self._stop.clear()
         for i in range(self.n_workers):
-            t = threading.Thread(target=self._worker_loop, args=(f"w{i}",), daemon=True)
+            # The pid prefix makes worker ids unique across replica
+            # processes sharing one jobs directory — two replicas both
+            # running a "w0" would satisfy each other's lease-owner checks.
+            t = threading.Thread(
+                target=self._worker_loop, args=(f"{os.getpid()}-w{i}",), daemon=True
+            )
             t.start()
             self._threads.append(t)
         return self
+
+    @property
+    def healthy(self) -> bool:
+        """False once any started worker thread died unexpectedly.
+
+        A replica whose runner threads are gone still answers HTTP but can
+        never execute the async work routed to it — ``GET /ready`` folds
+        this in so the router stops handing jobs to a zombie.
+        """
+        if self._stop.is_set():
+            return True  # deliberate stop in progress, not a crash
+        return all(t.is_alive() for t in self._threads)
 
     def stop(self, timeout_s: float = 5.0) -> None:
         """Stop accepting new jobs; wait briefly for running ones.
@@ -229,7 +283,10 @@ class JobRunner:
         t0 = time.perf_counter()
         budget = job.params.get("deadline_s")
         guard = JobGuard(
-            self.store, job.job_id, Deadline(float(budget)) if budget else None
+            self.store,
+            job.job_id,
+            Deadline(float(budget)) if budget else None,
+            worker_id=worker_id,
         )
         spans: list = []
 
@@ -477,7 +534,14 @@ class JobRunner:
         return {"evaluations": out, "methods": methods}
 
     def _run_synthesize(self, job: JobRecord, worker_id: str, guard: JobGuard, tracer: Tracer) -> dict:
-        """Generate a synthetic FIB-SEM acquisition into the results dir."""
+        """Generate a synthetic FIB-SEM acquisition into the results dir.
+
+        ``duration_s`` paces the job to a requested wall-clock length — a
+        real FIB-SEM mills and images for minutes per slice, and soak /
+        demo workloads need that *occupancy* shape (a worker held busy
+        while the CPU idles) without the compute.  The pacing loop
+        heartbeats the lease and honors cancel/lease-loss at every tick.
+        """
         from ..data.datasets import make_sample
         from ..io.volume_io import save_volume_bundle
 
@@ -486,9 +550,28 @@ class JobRunner:
         seed = int(params.get("seed", 0))
         size = int(params.get("size", 128))
         n_slices = int(params.get("n_slices", 4))
+        duration_s = float(params.get("duration_s", 0.0))
         guard.check("synthesize job")
         self._progress(job, worker_id, 0, 1, phase="synthesize")
         sample = make_sample(kind, seed=seed, shape=(size, size), n_slices=n_slices)
+        if duration_s > 0:
+            beat_s = self.scheduler.lease_ttl_s / 4
+            end = time.monotonic() + duration_s
+            next_beat = time.monotonic() + beat_s
+            while True:
+                now = time.monotonic()
+                if now >= end:
+                    break
+                guard.check("synthesize job (paced acquisition)")
+                if now >= next_beat:
+                    # Keep the lease alive without flooding the journal:
+                    # heartbeat directly, no progress event per tick.
+                    if self.scheduler.heartbeat(job.job_id, worker_id) is None:
+                        raise JobCancelledError(
+                            f"job {job.job_id} lease lost during paced acquisition"
+                        )
+                    next_beat = now + beat_s
+                time.sleep(min(0.05, end - now))
         out_path = self.store.result_path(job.job_id)
         save_volume_bundle(
             out_path,

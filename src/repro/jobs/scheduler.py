@@ -25,6 +25,14 @@ its whole read-modify-write sequence.  The store's own lock only makes each
 upsert) and mutates the live record the store handed out, so without the
 outer mutex two runner threads could lease the same job and execute it
 twice.
+
+Process-safety: the mutex is a :class:`_TransitionLock` — the RLock above
+plus an advisory ``flock`` on ``<jobs-dir>/scheduler.lock`` taken at the
+outermost entry.  The journal alone is multi-*writer* durable but not
+transactional: two replica processes sharing one jobs directory could both
+refresh, both see the same queued job, and both lease it.  With the file
+lock, refresh→select→lease is atomic across processes too, so a job is
+executed by exactly one worker cluster-wide.
 """
 
 from __future__ import annotations
@@ -32,6 +40,11 @@ from __future__ import annotations
 import threading
 import time
 from typing import Callable
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: thread-safety only
+    fcntl = None
 
 from ..errors import JobError
 from ..observability.metrics import get_registry
@@ -56,6 +69,49 @@ __all__ = ["JobScheduler"]
 DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay_s=0.2, max_delay_s=5.0)
 
 
+class _TransitionLock:
+    """Reentrant thread lock + cross-process advisory file lock.
+
+    The thread RLock serializes this process's runner threads; the
+    ``flock`` (taken only at the outermost acquisition, tracked by a depth
+    counter so nested transitions like acquire→reclaim_expired don't
+    deadlock on the non-reentrant file lock) serializes replica processes
+    sharing one jobs directory.  If the lock file cannot be opened the
+    scheduler degrades to thread-level safety — correct for every
+    single-process deployment, which is all that can exist then.
+    """
+
+    def __init__(self, path) -> None:
+        self._local = threading.RLock()
+        self._path = path
+        self._depth = 0
+        self._fh = None
+
+    def __enter__(self) -> "_TransitionLock":
+        self._local.acquire()
+        self._depth += 1
+        if self._depth == 1 and fcntl is not None:
+            try:
+                self._fh = open(self._path, "ab")
+                fcntl.flock(self._fh, fcntl.LOCK_EX)
+            except OSError:
+                if self._fh is not None:
+                    self._fh.close()
+                self._fh = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._depth -= 1
+        if self._depth == 0 and self._fh is not None:
+            try:
+                fcntl.flock(self._fh, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            self._fh.close()
+            self._fh = None
+        self._local.release()
+
+
 class JobScheduler:
     """Transitions :class:`JobRecord` objects through the job state machine."""
 
@@ -74,8 +130,9 @@ class JobScheduler:
         self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self._clock = clock
         # Serializes whole transitions (see module docstring): reentrant so
-        # acquire -> reclaim_expired nests.
-        self._mutex = threading.RLock()
+        # acquire -> reclaim_expired nests, and flock-backed so replica
+        # processes sharing the jobs directory cannot double-lease.
+        self._mutex = _TransitionLock(store.root / "scheduler.lock")
 
     # -- submission -----------------------------------------------------------
 
@@ -93,6 +150,9 @@ class JobScheduler:
         if kind not in JOB_KINDS:
             raise JobError(f"unknown job kind {kind!r}; known: {sorted(JOB_KINDS)}")
         with self._mutex:
+            # Pick up peer replicas' journal lines first so submit_seq is
+            # FIFO-ordered across every process sharing the directory.
+            self.store.refresh()
             job_id, seq = self.store.new_job_id()
             now = self._clock()
             record = JobRecord(
@@ -159,6 +219,9 @@ class JobScheduler:
         another worker already owns (or finished) the reclaimed attempt.
         """
         with self._mutex:
+            # Refresh first: a peer replica may have reclaimed this lease
+            # after we went silent, and its journal lines are the truth.
+            self.store.refresh()
             rec = self.store.maybe_get(job_id)
             if rec is None or rec.state not in ACTIVE_STATES or rec.lease_owner != str(worker_id):
                 record_event("jobs.lost_leases")
@@ -256,6 +319,8 @@ class JobScheduler:
     # -- internals ------------------------------------------------------------
 
     def _owned(self, job_id: str, worker_id: str) -> JobRecord:
+        # Cross-process ownership check: see the peers' reclaims first.
+        self.store.refresh()
         job = self.store.get(job_id)
         if job.lease_owner != str(worker_id) or job.state not in ACTIVE_STATES:
             raise JobError(

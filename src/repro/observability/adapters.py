@@ -33,6 +33,7 @@ __all__ = [
     "absorb_cache_counters",
     "absorb_resilience_events",
     "collect_default_metrics",
+    "publish_cluster_metrics",
     "stage_latency_rows",
 ]
 
@@ -94,6 +95,27 @@ def collect_default_metrics(
     absorb_resilience_events(events_snapshot(), reg)
     if profiler is not None:
         absorb_profiler(profiler, reg)
+    return reg
+
+
+def publish_cluster_metrics(replicas, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Publish per-replica liveness gauges from the coordinator's handles.
+
+    Fed by the supervisor loop on every probe tick, so the router's
+    ``GET /metrics`` always reflects the current cluster shape:
+    ``repro_cluster_replica_up{replica}`` (1 = routing-eligible) plus the
+    aggregate ``repro_cluster_replicas_healthy`` / ``..._configured``.
+    Cumulative death/restart counters are incremented at the event sites in
+    :mod:`repro.cluster.coordinator`, not here.
+    """
+    reg = registry or get_registry()
+    healthy = 0
+    for handle in replicas:
+        up = 1 if handle.healthy else 0
+        healthy += up
+        reg.gauge("repro_cluster_replica_up", replica=str(handle.index)).set(up)
+    reg.gauge("repro_cluster_replicas_healthy").set(healthy)
+    reg.gauge("repro_cluster_replicas_configured").set(len(list(replicas)))
     return reg
 
 

@@ -128,7 +128,11 @@ class ApiHandler:
             deadline = self._request_deadline(request)
             with request_scope(deadline):
                 sid = request.get("session_id")
-                if sid is None or action == "drop_session":
+                # create_session may carry a *proposed* id (the cluster
+                # router's affinity contract) — it must not be resolved as
+                # an existing session; drop_session is idempotent on gone
+                # sessions; both bypass the store lookup.
+                if sid is None or action in ("drop_session", "create_session"):
                     payload = handler(request)
                 else:
                     session = self.store.get(str(sid))
@@ -156,8 +160,9 @@ class ApiHandler:
     # -- handlers --------------------------------------------------------------
 
     def _create_session(self, request: dict) -> dict:
-        del request
-        session = self.store.create()
+        """New workspace; honors a proposed ``session_id`` (idempotent)."""
+        sid = request.get("session_id")
+        session = self.store.create(session_id=str(sid) if sid is not None else None)
         return {"session_id": session.session_id}
 
     def _drop_session(self, request: dict) -> dict:

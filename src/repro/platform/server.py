@@ -61,10 +61,16 @@ class _PlatformHTTPServer(ThreadingHTTPServer):
     when more clients connect simultaneously than the listener can accept;
     overload belongs to the admission gate (a structured 429), not to the
     kernel's SYN queue.
+
+    ``allow_reuse_address`` is inherited True from HTTPServer but pinned
+    here explicitly: a killed replica's restart must rebind its port while
+    the old sockets sit in TIME_WAIT, and the cluster coordinator depends
+    on that rebind being immediate.
     """
 
     request_queue_size = 128
     daemon_threads = True
+    allow_reuse_address = True
 
 #: Response types that map to a non-200 HTTP status (structured bodies
 #: either way; these are the ones load balancers key retry policy on).
@@ -78,6 +84,7 @@ def _make_handler(
     tracer: Tracer,
     gate: AdmissionGate,
     lifecycle: ServerLifecycle,
+    health=None,
 ):
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, fmt, *args):  # quiet by default
@@ -107,10 +114,14 @@ def _make_handler(
             if self.path == "/health":
                 self._send(200, b'{"status": "ok"}', "application/json")
             elif self.path == "/ready":
-                if state.get("ready") and not lifecycle.draining:
-                    self._send(200, b'{"ready": true}', "application/json")
+                # Readiness is richer than liveness: a draining server or
+                # one whose job-runner threads died must read not-ready so
+                # a router never hands work to a zombie replica.
+                if health is not None:
+                    ready, detail = health()
                 else:
-                    self._send(503, b'{"ready": false}', "application/json")
+                    ready, detail = bool(state.get("ready")) and not lifecycle.draining, {}
+                self._send_json(200 if ready else 503, {"ready": ready, **detail})
             elif self.path == "/metrics":
                 # Prometheus text exposition: absorb the live legacy counter
                 # sources first so a scrape is never stale.
@@ -276,7 +287,13 @@ class PlatformServer:
         self.httpd = _PlatformHTTPServer(
             (host, port),
             _make_handler(
-                self.api, self._state, max_body_bytes, self.tracer, self.gate, self.lifecycle
+                self.api,
+                self._state,
+                max_body_bytes,
+                self.tracer,
+                self.gate,
+                self.lifecycle,
+                health=self._health,
             ),
         )
         self._thread: threading.Thread | None = None
@@ -292,7 +309,22 @@ class PlatformServer:
 
     @property
     def ready(self) -> bool:
-        return bool(self._state["ready"]) and not self.lifecycle.draining
+        return self._health()[0]
+
+    def _health(self) -> tuple[bool, dict]:
+        """Full readiness verdict: serving state, drain state, runner liveness.
+
+        ``GET /ready`` reports all three so a router (or an operator) can
+        tell *why* a replica left rotation; dead job-runner threads make
+        the replica not-ready even though its HTTP side still answers.
+        """
+        draining = self.lifecycle.draining
+        runner_alive = self.jobs is None or self.jobs.runner.healthy
+        ready = bool(self._state["ready"]) and not draining and runner_alive
+        detail = {"draining": draining}
+        if self.jobs is not None:
+            detail["job_runner_alive"] = runner_alive
+        return ready, detail
 
     def start(self) -> "PlatformServer":
         self.lifecycle.reset()
@@ -304,23 +336,25 @@ class PlatformServer:
         return self
 
     def stop(self) -> None:
-        """Graceful drain, then shutdown.
+        """Graceful drain, then shutdown — listener first, drain second.
 
-        Readiness flips to 503 first (a load balancer stops routing), new
-        ``/api`` work is rejected, in-flight requests get up to
-        ``drain_timeout_s`` to finish, and only then is the listener torn
-        down — stragglers past the window are abandoned (daemon threads)
-        and counted in ``repro_server_drain_aborted_total``.
+        Readiness flips to 503 (a load balancer stops routing), then the
+        *listening socket closes immediately* so the port is free for a
+        restarting replica before the drain window even starts; in-flight
+        requests are unaffected (they run on accepted connections, and the
+        threading server never joins its daemon handler threads).  They get
+        up to ``drain_timeout_s`` to finish; stragglers past the window are
+        abandoned and counted in ``repro_server_drain_aborted_total``.
         """
         self._state["ready"] = False
         self.lifecycle.begin_drain()
+        self.httpd.shutdown()
+        self.httpd.server_close()
         self.lifecycle.wait_idle(self.drain_timeout_s)
         if self.jobs is not None:
             # Stop leasing new jobs; a job still running past the window is
             # abandoned and reclaimed via lease expiry on the next start.
             self.jobs.stop(timeout_s=self.drain_timeout_s)
-        self.httpd.shutdown()
-        self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
 

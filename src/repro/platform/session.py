@@ -437,8 +437,21 @@ class SessionStore:
 
     # -- registry ---------------------------------------------------------
 
-    def create(self) -> Session:
-        sid = f"s{next(_session_counter):06d}"
+    def create(self, session_id: str | None = None) -> Session:
+        """Create a session, optionally under a caller-proposed id.
+
+        Proposed ids exist for the cluster router: it mints the id *before*
+        forwarding ``create_session`` so consistent hashing lands the
+        session on the replica that will actually hold it.  Re-proposing an
+        existing id returns the live session unchanged (idempotent), so a
+        rerouted retry of an unsent create never builds a second workspace.
+        """
+        if session_id is not None:
+            sid = str(session_id)
+            if not sid or len(sid) > 128:
+                raise SessionError(f"proposed session id must be 1..128 chars, got {len(sid)}")
+        else:
+            sid = f"s{next(_session_counter):06d}"
         session = Session(
             session_id=sid,
             pipeline=ZenesisPipeline(self._config),
@@ -446,6 +459,11 @@ class SessionStore:
         )
         with self._lock:
             self._sweep_idle()
+            existing = self._sessions.get(sid)
+            if existing is not None:
+                existing.last_used = self._clock()
+                self._sessions.move_to_end(sid)
+                return existing
             while len(self._sessions) >= self.max_sessions:
                 evicted_sid, _ = self._sessions.popitem(last=False)
                 self._remember_eviction(evicted_sid, "capacity")

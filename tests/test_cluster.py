@@ -1,0 +1,428 @@
+"""Tests for repro.cluster: ring affinity, router failover, supervision.
+
+Three layers, cheapest first:
+
+* pure :class:`HashRing` math (affinity, minimal remap, re-adoption);
+* a :class:`ClusterRouter` over two *in-process* platform servers —
+  session stickiness, refused-connection failover with the
+  ``evicted: replica_failover`` marker, all-down shedding, and the
+  injected ``proxy_timeout`` fault's structured 504;
+* a real :class:`ClusterCoordinator` over replica *subprocesses* — death
+  detection + same-port restart, and the ``replica_crash`` boot loop being
+  parked by the crash-loop circuit breaker while the cluster keeps serving.
+
+The platform-side satellites live here too: ``/ready`` flipping on dead
+job-runner threads, and the listener-closes-before-drain shutdown order
+that makes the same-port restart immediate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cluster import ClusterCoordinator, ClusterRouter, HashRing, IDEMPOTENT_ACTIONS
+from repro.cluster.replica import ReplicaHandle
+from repro.errors import SessionError
+from repro.platform.server import PlatformServer
+from repro.platform.session import SessionStore
+
+
+def _post(url: str, payload: dict, timeout: float = 15.0):
+    req = urllib.request.Request(
+        url + "/api",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read() or b"{}"), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}"), dict(exc.headers)
+
+
+def _get(url: str, path: str, timeout: float = 5.0):
+    try:
+        with urllib.request.urlopen(url + path, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def _subprocess_env(**extra: str) -> dict:
+    src = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    env.pop("REPRO_FAULTS", None)
+    env.update(extra)
+    return env
+
+
+# -- hash ring -----------------------------------------------------------------
+
+
+class TestHashRing:
+    KEYS = [f"cs-{i:04d}" for i in range(256)]
+
+    def test_affinity_is_stable_and_deterministic(self):
+        ring = HashRing([0, 1, 2])
+        again = HashRing([0, 1, 2])
+        for key in self.KEYS:
+            owner = ring.node_for(key)
+            assert owner in (0, 1, 2)
+            assert ring.node_for(key) == owner  # stable within one ring
+            assert again.node_for(key) == owner  # and across instances
+
+    def test_death_remaps_only_the_dead_nodes_keys(self):
+        ring = HashRing([0, 1, 2, 3])
+        owners = {key: ring.node_for(key) for key in self.KEYS}
+        dead = owners[self.KEYS[0]]
+        alive = set(ring.nodes) - {dead}
+        moved = 0
+        for key, owner in owners.items():
+            after = ring.node_for(key, alive=alive)
+            if owner == dead:
+                moved += 1
+                assert after in alive
+            else:
+                assert after == owner  # minimal remap: survivors keep theirs
+        assert 0 < moved < len(self.KEYS)
+
+    def test_recovered_node_readopts_exactly_its_keys(self):
+        ring = HashRing([0, 1, 2, 3])
+        owners = {key: ring.node_for(key) for key in self.KEYS}
+        dead = owners[self.KEYS[0]]
+        alive = set(ring.nodes) - {dead}
+        for key, owner in owners.items():
+            ring.node_for(key, alive=alive)  # the outage
+            assert ring.node_for(key) == owner  # full recovery: original map
+
+    def test_no_eligible_node_returns_none(self):
+        ring = HashRing([0, 1])
+        assert ring.node_for("cs-x", alive=set()) is None
+        assert ring.node_for("cs-x", alive={99}) is None  # not configured
+
+    def test_preference_is_a_failover_permutation(self):
+        ring = HashRing([0, 1, 2])
+        for key in self.KEYS[:32]:
+            pref = ring.preference(key)
+            assert sorted(pref) == [0, 1, 2]
+            assert pref[0] == ring.node_for(key)
+            # With the owner down, routing lands on the *next* preference.
+            assert ring.node_for(key, alive=set(pref[1:])) == pref[1]
+
+    def test_vnodes_balance_the_load(self):
+        ring = HashRing([0, 1, 2, 3], vnodes=64)
+        counts = {n: 0 for n in ring.nodes}
+        for i in range(2000):
+            counts[ring.node_for(f"k{i}")] += 1
+        share = 2000 / 4
+        for n, c in counts.items():
+            assert 0.45 * share < c < 1.8 * share, f"node {n} got {c}/2000"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([0], vnodes=0)
+
+
+# -- proposed session ids (router-minted affinity keys) ------------------------
+
+
+class TestProposedSessionIds:
+    def test_create_honors_proposed_id(self):
+        store = SessionStore(max_sessions=4)
+        session = store.create(session_id="cs-deadbeef0123")
+        assert session.session_id == "cs-deadbeef0123"
+        assert store.get("cs-deadbeef0123") is session
+
+    def test_reproposing_is_idempotent(self):
+        store = SessionStore(max_sessions=4)
+        first = store.create(session_id="cs-aa")
+        second = store.create(session_id="cs-aa")  # a rerouted retry
+        assert second is first
+        assert len(store) == 1
+
+    def test_invalid_proposed_ids_rejected(self):
+        store = SessionStore(max_sessions=4)
+        with pytest.raises(SessionError):
+            store.create(session_id="")
+        with pytest.raises(SessionError):
+            store.create(session_id="x" * 129)
+
+
+# -- router over in-process replicas ------------------------------------------
+
+
+@pytest.fixture()
+def small_cluster():
+    """Two in-process platform servers behind one router (no subprocesses)."""
+    servers = [PlatformServer(max_sessions=8), PlatformServer(max_sessions=8)]
+    handles = []
+    for i, server in enumerate(servers):
+        server.start()
+        host, port = server.address
+        handles.append(ReplicaHandle(index=i, host=host, port=port, healthy=True))
+    router = ClusterRouter(handles, retry_backoff_s=0.01).start()
+    try:
+        yield router, handles, servers
+    finally:
+        router.stop()
+        for server in servers:
+            try:
+                server.stop()
+            except Exception:
+                pass
+
+
+class TestClusterRouter:
+    def test_router_mints_session_id_and_pins_affinity(self, small_cluster):
+        router, handles, _ = small_cluster
+        code, doc, headers = _post(router.url, {"action": "create_session"})
+        assert code == 200 and doc.get("ok", True)
+        sid = doc["session_id"]
+        assert sid.startswith("cs-")
+        owner = int(headers["X-Repro-Replica"])
+        assert owner == router.ring.node_for(sid)  # id hashes to its holder
+        for _ in range(5):
+            code, doc, headers = _post(
+                router.url, {"action": "preview", "session_id": sid}
+            )
+            assert code == 200
+            assert int(headers["X-Repro-Replica"]) == owner  # sticky
+
+    def test_failover_marks_session_evicted(self, small_cluster):
+        router, handles, servers = small_cluster
+        _, doc, headers = _post(router.url, {"action": "create_session"})
+        sid = doc["session_id"]
+        owner = int(headers["X-Repro-Replica"])
+        survivor = 1 - owner
+        servers[owner].stop()  # the affine replica dies: next connect refused
+        code, doc, headers = _post(
+            router.url, {"action": "preview", "session_id": sid}
+        )
+        assert code == 200
+        assert int(headers["X-Repro-Replica"]) == survivor
+        assert doc.get("ok") is False
+        assert doc.get("error") == "unknown_session"
+        assert doc.get("evicted") == "replica_failover"  # PR-4 eviction shape
+        assert handles[owner].healthy is False  # refused ⇒ flagged unhealthy
+
+    def test_all_replicas_down_sheds_structured_503(self, small_cluster):
+        router, handles, _ = small_cluster
+        for handle in handles:
+            handle.healthy = False
+        code, doc, headers = _post(router.url, {"action": "create_session"})
+        assert code == 503
+        assert doc["type"] == "ClusterUnavailable"
+        assert "Retry-After" in headers
+        code, doc = _get(router.url, "/ready")
+        assert code == 503 and doc == {"ready": False, "healthy_replicas": 0}
+
+    def test_proxy_timeout_fault_is_structured_504_never_retried(
+        self, small_cluster, monkeypatch
+    ):
+        router, _, _ = small_cluster
+        monkeypatch.setenv("REPRO_FAULTS", "proxy_timeout")
+        code, doc, _ = _post(router.url, {"action": "create_session"})
+        assert code == 504
+        assert doc["type"] == "ProxyTimeout"
+        assert doc["ok"] is False
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        code, doc, _ = _post(router.url, {"action": "create_session"})
+        assert code == 200  # one fault, one 504; the cluster stays usable
+
+    def test_router_get_endpoints_and_bad_posts(self, small_cluster):
+        router, _, _ = small_cluster
+        code, doc = _get(router.url, "/health")
+        assert code == 200
+        code, doc = _get(router.url, "/ready")
+        assert code == 200 and doc["healthy_replicas"] == 2
+        code, doc = _get(router.url, "/cluster/status")
+        assert code == 200 and len(doc["replicas"]) == 2
+        req = urllib.request.Request(
+            router.url + "/api", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=5)
+        assert err.value.code == 400
+        code, doc, _ = _post(router.url, {"action": "no_such_action"})
+        assert code in (200, 400)  # structured either way, never a raw 500
+
+    def test_idempotent_action_set_is_read_only_queries_plus_session_ops(self):
+        assert "job_submit" not in IDEMPOTENT_ACTIONS
+        assert "segment_volume" not in IDEMPOTENT_ACTIONS
+        assert {"create_session", "preview", "job_status"} <= IDEMPOTENT_ACTIONS
+
+
+# -- /ready liveness (satellite: zombie job runners) ---------------------------
+
+
+class TestReadyProbe:
+    def test_dead_runner_thread_flips_ready_to_503(self, tmp_path):
+        server = PlatformServer(jobs_dir=str(tmp_path / "jobs"), job_workers=1)
+        server.start()
+        try:
+            code, doc = _get(server.url, "/ready")
+            assert code == 200
+            assert doc["job_runner_alive"] is True and doc["draining"] is False
+            zombie = threading.Thread(target=lambda: None)
+            zombie.start()
+            zombie.join()  # a worker thread that has died
+            server.jobs.runner._threads.append(zombie)
+            try:
+                code, doc = _get(server.url, "/ready")
+                assert code == 503
+                assert doc["ready"] is False and doc["job_runner_alive"] is False
+            finally:
+                server.jobs.runner._threads.remove(zombie)
+            code, _ = _get(server.url, "/ready")
+            assert code == 200  # recovered view once the zombie is gone
+        finally:
+            server.stop()
+
+    def test_draining_reported_in_readiness_detail(self):
+        server = PlatformServer()
+        server.start()
+        try:
+            assert server.ready is True
+            server.lifecycle.begin_drain()
+            ready, detail = server._health()
+            assert ready is False and detail["draining"] is True
+        finally:
+            server.stop()
+
+
+# -- shutdown frees the port before the drain window ---------------------------
+
+
+class _SlowApi:
+    """A handler that holds its request long enough to straddle a restart."""
+
+    def __init__(self, hold_s: float) -> None:
+        self.hold_s = hold_s
+
+    def handle(self, request: dict) -> dict:
+        time.sleep(self.hold_s)
+        return {"ok": True, "held_s": self.hold_s}
+
+
+class TestListenerClosesBeforeDrain:
+    def test_same_port_rebinds_while_old_request_drains(self):
+        old = PlatformServer(api=_SlowApi(hold_s=1.5), drain_timeout_s=5.0)
+        old.start()
+        port = old.address[1]
+        result: dict = {}
+
+        def client():
+            result["response"] = _post(old.url, {"action": "anything"}, timeout=15)
+            result["done_at"] = time.monotonic()
+
+        t = threading.Thread(target=client)
+        t.start()
+        time.sleep(0.3)  # the slow request is now in flight
+        stopper = threading.Thread(target=old.stop)
+        stopper.start()
+        # The listener must close within shutdown's poll interval — long
+        # before the 1.5 s in-flight request finishes — so a restarting
+        # replica can take the port back immediately.
+        deadline = time.monotonic() + 3.0
+        fresh = None
+        while fresh is None and time.monotonic() < deadline:
+            try:
+                fresh = PlatformServer(host="127.0.0.1", port=port)
+            except OSError:
+                time.sleep(0.05)
+        assert fresh is not None, f"port {port} never freed during drain"
+        bound_at = time.monotonic()
+        fresh.start()
+        try:
+            code, doc = _get(fresh.url, "/health")
+            assert code == 200
+            assert fresh.address[1] == port
+        finally:
+            fresh.stop()
+        t.join(timeout=10)
+        stopper.join(timeout=10)
+        code, doc, _ = result["response"]
+        assert code == 200 and doc["held_s"] == 1.5  # the drain kept it alive
+        assert bound_at < result["done_at"], "rebind should beat the drain"
+
+
+# -- coordinator over real replica subprocesses --------------------------------
+
+
+class TestClusterCoordinator:
+    def test_killed_replica_detected_and_restarted_on_same_port(self, tmp_path):
+        coord = ClusterCoordinator(
+            2,
+            log_dir=tmp_path / "cluster",
+            probe_interval_s=0.1,
+            restart_backoff_s=0.2,
+            boot_timeout_s=30.0,
+            env=_subprocess_env(),
+        )
+        coord.start()
+        try:
+            assert coord.wait_healthy(2, timeout_s=30)
+            victim = coord.replicas[0]
+            old_pid, old_port = victim.pid, victim.port
+            assert old_port != 0
+            coord.kill_replica(0)
+            deadline = time.monotonic() + 15
+            while victim.deaths == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert victim.deaths >= 1, "exitcode polling never noticed the kill"
+            assert coord.wait_healthy(2, timeout_s=30), "replica never came back"
+            assert victim.pid != old_pid
+            assert victim.port == old_port  # the freed port was re-taken
+            assert victim.restarts >= 1
+            status = coord.status()
+            assert status["healthy"] == 2
+            assert status["replicas"][0]["deaths"] >= 1
+            code, doc = _get(coord.url, "/ready")
+            assert code == 200 and doc["healthy_replicas"] == 2
+        finally:
+            coord.stop()
+
+    def test_boot_crash_loop_parked_by_breaker_cluster_keeps_serving(self, tmp_path):
+        coord = ClusterCoordinator(
+            2,
+            log_dir=tmp_path / "cluster",
+            probe_interval_s=0.05,
+            restart_backoff_s=0.05,
+            max_backoff_s=0.1,
+            breaker_failures=3,
+            breaker_recovery_s=60.0,
+            boot_timeout_s=30.0,
+            env=_subprocess_env(REPRO_FAULTS="replica_crash@replica=0"),
+        )
+        coord.start()
+        try:
+            assert coord.wait_healthy(1, timeout_s=30)  # replica 1 is fine
+            deadline = time.monotonic() + 20
+            while coord.breakers[0].state != "open" and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert coord.breakers[0].state == "open", "crash loop never tripped"
+            assert coord.replicas[0].deaths >= 3
+            assert coord.replicas[0].healthy is False
+            time.sleep(0.5)  # parked: the supervisor must not respawn it
+            assert coord.replicas[0].process is None
+            assert coord.replicas[1].healthy is True
+            code, doc, headers = _post(coord.url, {"action": "create_session"})
+            assert code == 200 and doc.get("ok", True)
+            assert int(headers["X-Repro-Replica"]) == 1
+            status = coord.status()
+            assert status["replicas"][0]["breaker"]["state"] == "open"
+        finally:
+            coord.stop()

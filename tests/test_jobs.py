@@ -406,6 +406,61 @@ class TestJobGuard:
         assert not guard.expired
 
 
+class TestLeaseLossRace:
+    """Two runners racing one reclaimed job: the stalled one must abort.
+
+    This is the cluster's double-write hazard in miniature — worker A (one
+    replica) goes silent past its lease TTL, worker B (a peer replica,
+    modelled by a second store/scheduler over the same directory) reclaims
+    and finishes the job.  A's :class:`JobGuard` must abort A's attempt the
+    moment the record names a new owner, and every completion path A could
+    still try must bounce, so the journal ends with exactly one terminal
+    state.
+    """
+
+    def test_stalled_worker_aborts_after_peer_reclaims(self, tmp_path):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+        store_a = JobStore(tmp_path / "jobs", clock=clock)
+        store_b = JobStore(tmp_path / "jobs", clock=clock)
+        sched_a = JobScheduler(store_a, lease_ttl_s=5.0, retry_policy=policy, clock=clock)
+        sched_b = JobScheduler(store_b, lease_ttl_s=5.0, retry_policy=policy, clock=clock)
+
+        job = sched_a.submit("evaluate")
+        leased = sched_a.acquire("1234-w0")
+        assert leased is not None and leased.job_id == job.job_id
+        guard = JobGuard(
+            store_a, job.job_id, worker_id="1234-w0", lease_check_s=0.0, clock=clock
+        )
+        guard.check("mid-slice")  # lease held: no objection
+
+        clock.advance(6.0)  # A stalls past its TTL without heartbeating
+        reclaimed = sched_b.acquire("5678-w0")  # the peer's scheduler tick
+        assert reclaimed is not None and reclaimed.job_id == job.job_id
+        assert reclaimed.lease_owner == "5678-w0"
+
+        # A's next cooperative check sees the new owner and aborts the round.
+        with pytest.raises(JobCancelledError, match="lease lost"):
+            guard.check("mid-slice")
+
+        # Every write path A could still attempt bounces off ownership...
+        assert sched_a.heartbeat(job.job_id, "1234-w0") is None
+        with pytest.raises(JobError):
+            sched_a.complete(job.job_id, "1234-w0", {"winner": "A"})
+        # ...while B, the legitimate owner, completes exactly once.
+        done = sched_b.complete(job.job_id, "5678-w0", {"winner": "B"})
+        assert done.state == SUCCEEDED
+        store_a.refresh()
+        final = store_a.get(job.job_id)
+        assert final.state == SUCCEEDED
+        assert final.result == {"winner": "B"}
+        events, _, _ = store_a.events_after(job.job_id)
+        terminal = [
+            e for e in events if e.get("state") in (SUCCEEDED, FAILED, CANCELLED)
+        ]
+        assert len(terminal) == 1
+
+
 # -- service + runner ----------------------------------------------------------
 
 

@@ -198,7 +198,8 @@ class TestServer:
         assert not srv.ready
         with srv:
             ready = json.loads(urllib.request.urlopen(srv.url + "/ready", timeout=10).read())
-            assert ready == {"ready": True}
+            # No jobs configured, so readiness detail carries drain state only.
+            assert ready == {"ready": True, "draining": False}
         assert not srv.ready
 
     def test_handler_exception_returns_500(self):
