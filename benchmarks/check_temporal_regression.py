@@ -1,0 +1,102 @@
+"""Gate temporal-propagation speedups against the committed BENCH_temporal.json.
+
+Usage::
+
+    python benchmarks/check_temporal_regression.py BASELINE CURRENT [--max-drop 0.20]
+
+Compares the ``speedups`` section — per scene, propagate's wall-clock
+speedup and grounding-call ratio over the meanbox run *measured in the
+same process* — for every key present in *both* files, and exits non-zero
+when any ratio drops by more than ``--max-drop`` (default 20%) relative
+to the committed baseline.
+
+Same-run ratios are the only numbers comparable across machines: the
+committed baseline is measured on a dev box while CI runs on shared
+runners of unpredictable speed (and a reduced ``REPRO_BENCH_QUICK`` scene
+list), so absolute wall seconds would fail spuriously on any runner
+slower than the baseline host.  Dividing by the same run's meanbox wall
+clock cancels the hardware term; what is left is the propagation-engine
+advantage this gate actually protects.  Absolute walls are still printed,
+informationally only.
+
+Speedup keys only present on one side are reported but never fail the
+check (the reduced CI scene list measures a subset of the committed full
+list).
+
+CI wires this into the ``bench`` job.  A *known and accepted* regression
+(e.g. trading propagation speed for tracking quality) is merged by
+applying the ``perf-regression-ok`` label to the PR, which skips this
+check — then refresh the committed baseline in the same PR::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/test_temporal_bench.py
+    cp benchmarks/_artifacts/BENCH_temporal.json BENCH_temporal.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(baseline: dict, current: dict, max_drop: float) -> list[str]:
+    """Return failure lines; empty means the check passes."""
+    failures = []
+    base_speedups = baseline.get("speedups", {})
+    cur_speedups = current.get("speedups", {})
+    for name in sorted(base_speedups):
+        if name not in cur_speedups:
+            print(f"  {name:<36} not in current run (reduced scene list) — skipped")
+            continue
+        base = base_speedups[name]
+        cur = cur_speedups[name]
+        ratio = cur / base if base else float("inf")
+        status = "ok" if ratio >= 1.0 - max_drop else "REGRESSED"
+        print(f"  {name:<36} baseline {base:>6.2f}x  current {cur:>6.2f}x  ({ratio:.2f}) {status}")
+        if ratio < 1.0 - max_drop:
+            failures.append(
+                f"{name}: ratio {cur:.2f}x is {(1.0 - ratio) * 100:.1f}% below baseline "
+                f"{base:.2f}x (allowed drop {max_drop * 100:.0f}%)"
+            )
+    for name in sorted(set(cur_speedups) - set(base_speedups)):
+        print(f"  {name:<36} new speedup key (no baseline) — informational only")
+    # Absolute walls are machine-dependent; print for the log, never gate.
+    for label, report in (("baseline", baseline), ("current", current)):
+        for scene, modes in sorted(report.get("results", {}).items()):
+            for mode, cfg in sorted(modes.items()):
+                print(
+                    f"    [{label}] {scene:<8} {mode:<10} wall p50 "
+                    f"{cfg['wall_s_p50'] * 1e3:>8.1f} ms  groundings "
+                    f"{cfg['groundings']:>3} (informational)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_temporal.json")
+    parser.add_argument("current", type=Path, help="freshly measured BENCH_temporal.json")
+    parser.add_argument("--max-drop", type=float, default=0.20, help="allowed fractional drop")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    print(f"temporal speedups vs {args.baseline} (max drop {args.max_drop * 100:.0f}%):")
+    failures = compare(baseline, current, args.max_drop)
+    if failures:
+        print("\nFAIL: temporal speedup regression", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "\nIf this trade-off is intentional, apply the 'perf-regression-ok' label "
+            "and refresh the committed BENCH_temporal.json (see module docstring).",
+            file=sys.stderr,
+        )
+        return 1
+    print("temporal speedups OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

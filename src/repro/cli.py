@@ -78,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume a volume job from --checkpoint-dir (skips completed slices)",
     )
+    p.add_argument(
+        "--temporal-mode",
+        choices=["meanbox", "propagate"],
+        default="meanbox",
+        help="volume engine: ground every slice + mean-box refinement, or "
+        "memory-conditioned propagation with keyframe re-grounding",
+    )
 
     p = sub.add_parser("batch", help="Mode B batch segmentation of a volume")
     _add_precision_flag(p)
@@ -86,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", type=Path, default=None)
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--no-temporal", action="store_true")
+    p.add_argument(
+        "--temporal-mode",
+        choices=["meanbox", "propagate"],
+        default="meanbox",
+        help="propagate runs the sequential memory engine (single-worker path)",
+    )
 
     p = sub.add_parser("evaluate", help="run the paper's table experiments")
     _add_precision_flag(p)
@@ -211,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
     jp.add_argument("--priority", type=int, default=0, help="higher runs first")
     jp.add_argument("--workers", type=int, default=1, help="decode workers (segment_volume)")
     jp.add_argument("--no-temporal", action="store_true")
+    jp.add_argument(
+        "--temporal-mode",
+        choices=["meanbox", "propagate"],
+        default="meanbox",
+        help="volume engine for segment_volume jobs",
+    )
     jp.add_argument("--run", action="store_true", help="also execute queued jobs here until idle")
     jp = jsub.add_parser("status", help="print one job (or the whole queue) as JSON")
     jp.add_argument("job_id", nargs="?", default=None)
@@ -289,7 +308,9 @@ def _cmd_segment(args) -> int:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
     _start_observability(args, "segment")
-    pipeline = ZenesisPipeline(ZenesisConfig(use_cache=not args.no_cache))
+    pipeline = ZenesisPipeline(
+        ZenesisConfig(use_cache=not args.no_cache, temporal_mode=args.temporal_mode)
+    )
     out = args.out or args.path.with_suffix(".masks.npz")
     if arr.ndim == 3 and args.slice is None:
         result = pipeline.segment_volume(
@@ -330,6 +351,25 @@ def _cmd_batch(args) -> int:
     if arr.ndim != 3:
         print("batch requires a volume (3-D) input", file=sys.stderr)
         return 2
+    if args.temporal_mode == "propagate":
+        # Propagation is sequential by construction (each slice's prompts
+        # come from the previous slice's memory), so it bypasses the
+        # halo-block worker pool and runs the exact single-engine path.
+        from .core.pipeline import ZenesisConfig, ZenesisPipeline
+
+        if args.workers != 1:
+            print("note: --temporal-mode propagate is sequential; ignoring --workers", file=sys.stderr)
+        pipeline = ZenesisPipeline(ZenesisConfig(temporal_mode="propagate"))
+        result = pipeline.segment_volume(arr, args.prompt)
+        out = args.out or args.path.with_suffix(".masks.npz")
+        save_volume_bundle(out, arr, result.masks, {"prompt": args.prompt})
+        rep = result.refinement_report
+        print(
+            f"{result.n_slices} slices propagated ({rep.get('grounded_slices', 0)} grounded, "
+            f"{rep.get('regrounds', 0)} re-grounds); volume fraction "
+            f"{result.masks.mean():.3f}; masks -> {out}"
+        )
+        return 0
     masks, report = segment_volume_batch(
         arr, args.prompt, BatchConfig(n_workers=args.workers, temporal=not args.no_temporal)
     )
@@ -511,6 +551,7 @@ def _cmd_jobs(args) -> int:
                 arr,
                 args.prompt,
                 temporal=not args.no_temporal,
+                temporal_mode=args.temporal_mode,
                 n_workers=args.workers,
                 priority=args.priority,
             )

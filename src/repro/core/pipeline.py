@@ -45,6 +45,7 @@ from ..resilience.policy import RetryPolicy
 from ..resilience.serving.lifecycle import check_deadline
 from ..utils.timing import StageProfiler
 from .prompts import SpatialHints, TextPrompt
+from .propagation import PropagationConfig, PropagationEngine, resume_propagation
 from .results import SliceResult, VolumeResult
 from .temporal import RefinementReport, TemporalConfig, refine_box_sequences
 
@@ -83,8 +84,15 @@ class ZenesisConfig:
     selection_floor: float = 0.25
     gate_dilation: int = 4
     band_k: float = 2.0
-    # Volumes.
+    # Volumes.  ``temporal_mode`` selects the Mode B engine: "meanbox" is the
+    # paper's sliding-window box heuristic (the bit-stable default);
+    # "propagate" is the memory-conditioned propagation path (DINO only on
+    # keyframes / confidence drops).  Folded into the config fingerprint —
+    # the two modes produce different masks, so they must never share cache
+    # or checkpoint identities.
     temporal: TemporalConfig = field(default_factory=TemporalConfig)
+    temporal_mode: str = "meanbox"
+    propagation: PropagationConfig = field(default_factory=PropagationConfig)
     seed: int = 0
     strict_grounding: bool = False  # raise GroundingError when nothing grounds
     use_cache: bool = True  # content-addressed inference cache (--no-cache)
@@ -96,6 +104,12 @@ class ZenesisConfig:
     # with both thresholds multiplied by grounding_relax per attempt.
     grounding_retries: int = 2
     grounding_relax: float = 0.7
+
+    def __post_init__(self):
+        if self.temporal_mode not in ("meanbox", "propagate"):
+            raise PipelineError(
+                f"temporal_mode must be 'meanbox' or 'propagate', got {self.temporal_mode!r}"
+            )
 
 
 class ZenesisPipeline:
@@ -192,6 +206,7 @@ class ZenesisPipeline:
     ) -> Detection:
         """One grounding attempt at relaxation ``level`` (0 = configured)."""
         with self.profiler.stage("dino.ground"):
+            get_registry().counter("repro_pipeline_groundings_total").inc()
             if level == 0 and get_fault_plan().should_fire("grounding_empty", slice=slice_index):
                 h, w = np.asarray(detector_img).shape[:2]
                 return Detection(
@@ -387,25 +402,41 @@ class ZenesisPipeline:
         prompt: str | TextPrompt,
         *,
         temporal: bool = True,
+        temporal_mode: str | None = None,
         checkpoint_dir: Path | str | None = None,
         resume: bool = False,
     ) -> VolumeResult:
         """Mode B: segment every slice with optional temporal box refinement.
 
+        ``temporal_mode`` (default: the config's ``temporal_mode``) selects
+        the engine: ``"meanbox"`` grounds every slice and refines boxes with
+        the paper's sliding-window heuristic; ``"propagate"`` grounds only
+        keyframes and propagates per-object memory masks in between (the
+        ``temporal`` flag is ignored there — propagation *is* the temporal
+        model).
+
         With ``checkpoint_dir`` set, every completed slice mask is persisted
         (atomic manifest + ``.npy`` shards); ``resume=True`` then reloads
         completed slices from a previous interrupted run instead of
         re-segmenting them.  The checkpoint is fingerprinted by (volume
-        content, prompt, config, temporal flag) so stale checkpoints from a
-        different job raise :class:`~repro.errors.CheckpointError`.
+        content, prompt, config, temporal flag/mode) so stale checkpoints
+        from a different job raise :class:`~repro.errors.CheckpointError`.
         Adaptation and grounding are re-run on resume — temporal refinement
         needs every slice's boxes, and both stages are deterministic (and
         cached) — so resumed masks are bit-identical to an uninterrupted run.
+        In propagate mode the per-object memory state is itself shard-
+        checkpointed, so resume replays from the last completed slice with
+        the exact memory an uninterrupted run had there.
         """
         text = prompt.text if isinstance(prompt, TextPrompt) else str(prompt)
         voxels = volume.voxels if isinstance(volume, ScientificVolume) else np.asarray(volume)
         if voxels.ndim != 3:
             raise GroundingError(f"segment_volume expects a 3-D volume, got shape {voxels.shape}")
+        mode = temporal_mode if temporal_mode is not None else self.config.temporal_mode
+        if mode not in ("meanbox", "propagate"):
+            raise PipelineError(f"temporal_mode must be 'meanbox' or 'propagate', got {mode!r}")
+        if mode == "propagate":
+            return self._segment_volume_propagate(voxels, text, checkpoint_dir, resume)
         n = voxels.shape[0]
 
         ckpt: CheckpointManager | None = None
@@ -519,5 +550,116 @@ class ZenesisPipeline:
             slice_results=tuple(slice_results),
             prompt=text,
             refinement_report=report.as_dict(),
+            profiler=self.profiler,
+        )
+
+    def _segment_volume_propagate(
+        self,
+        voxels: np.ndarray,
+        text: str,
+        checkpoint_dir: Path | str | None,
+        resume: bool,
+    ) -> VolumeResult:
+        """Memory-conditioned Mode B: keyframe grounding + mask propagation.
+
+        Forward streaming from slice 0; each completed slice persists its
+        mask shard *then* the serialized propagation memory, so a kill at
+        any instant resumes bit-identically (at most one slice recomputed).
+        """
+        from .propagation import STATE_NAME
+
+        n = voxels.shape[0]
+        engine = PropagationEngine(self, text, config=self.config.propagation)
+        masks = np.zeros(voxels.shape, dtype=bool)
+        ckpt: CheckpointManager | None = None
+        start_z = 0
+        if checkpoint_dir is not None:
+            fingerprint = combine_keys(
+                array_content_key(voxels),
+                repr(text),
+                config_fingerprint(self.config),
+                "temporal_mode=propagate",
+            )
+            ckpt = CheckpointManager(
+                checkpoint_dir,
+                fingerprint=fingerprint,
+                n_slices=n,
+                meta={"prompt": text, "temporal_mode": "propagate"},
+            )
+            ckpt.load(resume=resume)
+            if resume:
+                start_z = resume_propagation(ckpt, engine, masks)
+                if start_z:
+                    record_event("checkpoint.resumed_slices", start_z)
+        plan = get_fault_plan()
+        registry = get_registry()
+        metas: dict[int, dict] = {}
+        with trace("volume.propagate", prompt=text, n_slices=n):
+            for z in range(start_z, n):
+                if plan.active:
+                    plan.crash_if("volume_crash", slice=z)
+                    if plan.should_fire("volume_abort", slice=z):
+                        raise PipelineError(f"injected volume_abort fault at slice {z}")
+                with trace("slice.propagate", slice=z) as span:
+                    mask, meta = engine.step(z, voxels[z])
+                    span.set(
+                        grounded=bool(meta.get("grounded", False)),
+                        n_objects=int(meta.get("n_objects", 0)),
+                    )
+                masks[z] = mask
+                metas[z] = meta
+                registry.counter("repro_pipeline_slices_total").inc()
+                if ckpt is not None:
+                    ckpt.save_slice(z, mask)
+                    ckpt.save_state(STATE_NAME, engine.state.to_arrays())
+        if ckpt is not None:
+            ckpt.finalize()
+
+        slice_results: list[SliceResult] = []
+        last_detection = engine.last_detection
+        for z in range(n):
+            meta = metas.get(z)
+            if meta is None:  # restored from checkpoint
+                slice_results.append(
+                    SliceResult(
+                        mask=masks[z],
+                        detection=None,
+                        prompt=text,
+                        metadata={"slice": z, "resumed": True, "propagated": True},
+                    )
+                )
+            elif meta.get("grounded"):
+                slice_results.append(
+                    SliceResult(
+                        mask=masks[z],
+                        detection=meta.get("detection"),
+                        per_box_masks=meta.get("per_box_masks", ()),
+                        per_box_kinds=meta.get("per_box_kinds", ()),
+                        prompt=text,
+                        profiler=self.profiler,
+                        metadata={"slice": z, "grounded": True, "reason": meta.get("reason")},
+                    )
+                )
+            else:
+                slice_results.append(
+                    SliceResult(
+                        mask=masks[z],
+                        detection=last_detection,
+                        prompt=text,
+                        metadata={
+                            "propagated": True,
+                            "slice": z,
+                            "confidence": meta.get("confidence"),
+                        },
+                    )
+                )
+        self.profiler.set_counters(self.cache.counters())
+        self.profiler.set_counters(events_snapshot())
+        report = {"mode": "propagation", "temporal_mode": "propagate", **engine.state.stats()}
+        return VolumeResult(
+            masks=masks,
+            slice_results=tuple(slice_results),
+            prompt=text,
+            refinement_report=report,
             profiler=self.profiler,
         )

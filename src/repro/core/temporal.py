@@ -166,7 +166,15 @@ def refine_box_sequences(
                 half_h = (mean_box[3] - mean_box[1]) / 2.0
                 replacement = np.array([cx - half_w, cy - half_h, cx + half_w, cy + half_h])
             else:
-                replacement = mean_box
+                replacement = mean_box.copy()
+            if image_shape is not None:
+                # A recentred replacement near the frame edge can poke
+                # outside the image; clamp it.  The decoder clips boxes
+                # anyway (clip_boxes in masks_from_box), so this never
+                # changes a mask — it keeps the *reported* boxes within
+                # bounds for downstream consumers.
+                ih, iw = image_shape
+                replacement = np.clip(replacement, 0.0, [iw, ih, iw, ih])
             report.n_replaced += 1
             report.replacements.append(
                 {

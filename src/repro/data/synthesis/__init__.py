@@ -11,6 +11,13 @@ from .artifacts import (
 from .fibsem import CATALYST_KINDS, FibsemConfig, FibsemSample, synthesize_fibsem_volume
 from .modalities import synthesize_edx_map, synthesize_stm_topography, synthesize_xrd_pattern
 from .phantoms import checkerboard, disk_phantom, needles_phantom, two_phase_phantom
+from .scenarios import (
+    ANCHOR_BASE,
+    SCENARIO_KINDS,
+    ScenarioConfig,
+    ScenarioSample,
+    synthesize_scenario_volume,
+)
 from .shapes import (
     raster_band_below,
     raster_blob,
@@ -20,9 +27,13 @@ from .shapes import (
 )
 
 __all__ = [
+    "ANCHOR_BASE",
     "CATALYST_KINDS",
     "FibsemConfig",
     "FibsemSample",
+    "SCENARIO_KINDS",
+    "ScenarioConfig",
+    "ScenarioSample",
     "add_charging",
     "add_curtaining",
     "add_poisson_gaussian_noise",
@@ -39,6 +50,7 @@ __all__ = [
     "smooth_noise_2d",
     "synthesize_edx_map",
     "synthesize_fibsem_volume",
+    "synthesize_scenario_volume",
     "synthesize_stm_topography",
     "synthesize_xrd_pattern",
     "two_phase_phantom",

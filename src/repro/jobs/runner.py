@@ -392,6 +392,9 @@ class JobRunner:
             raise JobError(f"job input must be a 3-D volume, got shape {voxels.shape}")
         prompt = str(params.get("prompt", ""))
         temporal = bool(params.get("temporal", True))
+        temporal_mode = str(params.get("temporal_mode", "meanbox"))
+        if temporal_mode == "propagate":
+            return self._run_segment_volume_propagate(job, worker_id, guard, tracer, voxels, prompt)
         n_decode_workers = max(1, int(params.get("n_workers", 1)))
         round_size = max(1, int(params.get("round_slices", 1)))
         config = ZenesisConfig()
@@ -504,6 +507,81 @@ class JobRunner:
             "per_slice_coverage": [float(m.mean()) for m in masks],
             "refinement": refinement,
             "resumed_slices": int(len(done)),
+            "masks_path": str(out_path),
+            "masks_key": array_content_key(masks),
+        }
+
+    def _run_segment_volume_propagate(
+        self,
+        job: JobRecord,
+        worker_id: str,
+        guard: JobGuard,
+        tracer: Tracer,
+        voxels: np.ndarray,
+        prompt: str,
+    ) -> dict:
+        """Memory-conditioned Mode B job: keyframe grounding + propagation.
+
+        Propagation is inherently sequential (each slice's prompts derive
+        from the previous slice's memory), so there is no decode pool here;
+        instead every slice persists its mask shard *and* the serialized
+        per-object memory, making SIGKILL/reclaim resume bit-identical.
+        Cancellation/lease-loss is honored at every slice boundary — the
+        engine calls ``check_deadline`` per step and the bound ``JobGuard``
+        duck-types the deadline.
+        """
+        from ..core.propagation import STATE_NAME, PropagationEngine, resume_propagation
+
+        config = ZenesisConfig(temporal_mode="propagate")
+        pipeline = _memo_pipeline(config)
+        n = voxels.shape[0]
+        plan = get_fault_plan()
+
+        # Same fingerprint recipe as ZenesisPipeline._segment_volume_propagate,
+        # so the shards are interchangeable with the CLI --checkpoint-dir path.
+        fingerprint = combine_keys(
+            array_content_key(voxels),
+            repr(prompt),
+            config_fingerprint(config),
+            "temporal_mode=propagate",
+        )
+        ckpt = CheckpointManager(
+            job.checkpoint_dir,
+            fingerprint=fingerprint,
+            n_slices=n,
+            meta={"job_id": job.job_id, "prompt": prompt, "temporal_mode": "propagate"},
+        )
+        ckpt.load(resume=True)
+        engine = PropagationEngine(pipeline, prompt, config=config.propagation)
+        masks = np.zeros(voxels.shape, dtype=bool)
+        start_z = resume_propagation(ckpt, engine, masks)
+        if start_z:
+            record_event("checkpoint.resumed_slices", start_z)
+            get_registry().counter("repro_jobs_resumed_slices_total").inc(start_z)
+        self._progress(job, worker_id, start_z, n, phase="propagate")
+
+        span = tracer.begin("job.propagate", n_slices=n, start=start_z)
+        for z in range(start_z, n):
+            guard.check(f"segment_volume job (propagate slice {z})")
+            plan.crash_if("job_crash", slice=z)
+            mask, _ = engine.step(z, voxels[z])
+            masks[z] = mask
+            ckpt.save_slice(z, mask)
+            ckpt.save_state(STATE_NAME, engine.state.to_arrays())
+            get_registry().counter("repro_jobs_slices_total").inc()
+            self._progress(job, worker_id, z + 1, n, phase="propagate")
+        tracer.finish(span)
+        ckpt.finalize()
+
+        out_path = self.store.result_path(job.job_id)
+        np.savez_compressed(out_path, masks=masks)
+        return {
+            "n_slices": n,
+            "volume_fraction": float(masks.mean()),
+            "per_slice_coverage": [float(m.mean()) for m in masks],
+            "refinement": {"mode": "propagation", **engine.state.stats()},
+            "temporal_mode": "propagate",
+            "resumed_slices": int(start_z),
             "masks_path": str(out_path),
             "masks_key": array_content_key(masks),
         }

@@ -90,6 +90,7 @@ class JobService:
         prompt: str,
         *,
         temporal: bool = True,
+        temporal_mode: str = "meanbox",
         n_workers: int = 1,
         round_slices: int = 1,
         deadline_s: float | None = None,
@@ -108,9 +109,12 @@ class JobService:
             raise JobError(f"segment_volume jobs need a 3-D volume, got shape {voxels.shape}")
         snap = self.store.input_path(f"vol-{os.urandom(6).hex()}")
         np.save(snap, voxels, allow_pickle=False)
+        if temporal_mode not in ("meanbox", "propagate"):
+            raise JobError(f"unknown temporal_mode {temporal_mode!r}")
         params = {
             "prompt": str(prompt),
             "temporal": bool(temporal),
+            "temporal_mode": str(temporal_mode),
             "n_workers": int(n_workers),
             "round_slices": int(round_slices),
         }

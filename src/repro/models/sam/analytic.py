@@ -137,6 +137,27 @@ class AnalyticMaskHead:
             otsu_threshold=_otsu_threshold_float(smooth),
         )
 
+    def crop_context(self, ctx: AnalyticContext, window: tuple[int, int, int, int]) -> AnalyticContext:
+        """Restrict a prepared context to a ``(y0, y1, x0, x1)`` window.
+
+        Slices the precomputed per-pixel maps (views, no recompute).  The
+        scalar statistics (gradient scale, noise level, global Otsu) are
+        kept as-is: they describe the image, not the window, and reusing
+        them keeps thresholds consistent between windowed and full-frame
+        decodes of the same prompt.
+        """
+        y0, y1, x0, x1 = window
+        sl = (slice(y0, y1), slice(x0, x1))
+        return AnalyticContext(
+            image=ctx.image[sl],
+            smooth=ctx.smooth[sl],
+            tophat=ctx.tophat[sl],
+            grad_mag=ctx.grad_mag[sl],
+            grad_p95=ctx.grad_p95,
+            noise_sigma=ctx.noise_sigma,
+            otsu_threshold=ctx.otsu_threshold,
+        )
+
     # -- scoring --------------------------------------------------------------
 
     def score_mask(self, ctx: AnalyticContext, mask: np.ndarray) -> tuple[float, dict[str, float]]:
@@ -261,11 +282,16 @@ class AnalyticMaskHead:
         ctx: AnalyticContext,
         points: np.ndarray,
         labels: np.ndarray,
+        *,
+        score: bool = True,
     ) -> list[MaskHypothesis]:
         """Tight-band / loose-band / region hypotheses for point prompts.
 
         ``points`` are (x, y); positive points seed the object, negative
-        points veto components containing them.
+        points veto components containing them.  ``score=False`` skips the
+        quality decomposition (scores come back 0.0) — for callers that
+        rank the hypotheses themselves, e.g. propagation's IoU-vs-memory
+        selection, where scoring is half the decode cost.
         """
         pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
         labs = np.asarray(labels).reshape(-1)
@@ -306,11 +332,16 @@ class AnalyticMaskHead:
                 mask = mask & ~np.isin(labelled, sorted(bad))
             return mask
 
+        def _hyp(mask: np.ndarray, kind: str) -> MaskHypothesis:
+            if score:
+                return self._hypothesis(ctx, mask, kind)
+            return MaskHypothesis(mask=mask, kind=kind, score=0.0)
+
         hyps = []
         tight = _veto(_connected(self._band_mask(ctx, seed, k=self.band_k * 0.75)))
         loose = _veto(_connected(self._band_mask(ctx, seed, k=self.band_k * 1.6)))
-        hyps.append(self._hypothesis(ctx, tight, "tight-band"))
-        hyps.append(self._hypothesis(ctx, loose, "loose-band"))
+        hyps.append(_hyp(tight, "tight-band"))
+        hyps.append(_hyp(loose, "loose-band"))
 
         side_hi = ctx.smooth >= ctx.otsu_threshold
         y0, x0 = int(round(pos[0][1])), int(round(pos[0][0]))
@@ -320,5 +351,5 @@ class AnalyticMaskHead:
         comp = component_containing(region, (y0, x0))
         region = comp if comp is not None else np.zeros_like(region)
         region = _veto(clean_mask(region, open_radius=1, close_radius=1, min_area=self.min_component_area))
-        hyps.append(self._hypothesis(ctx, region, "region"))
+        hyps.append(_hyp(region, "region"))
         return hyps

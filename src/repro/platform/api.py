@@ -255,8 +255,15 @@ class ApiHandler:
         )
         if go_async:
             return self._submit_volume_job(session, request, redirected=mode is None)
+        temporal_mode = request.get("temporal_mode")
+        if temporal_mode is not None and temporal_mode not in ("meanbox", "propagate"):
+            raise ValidationError(
+                f"temporal_mode must be 'meanbox' or 'propagate', got {temporal_mode!r}"
+            )
         result = session.segment_volume(
-            str(request["prompt"]), temporal=bool(request.get("temporal", True))
+            str(request["prompt"]),
+            temporal=bool(request.get("temporal", True)),
+            temporal_mode=temporal_mode,
         )
         return {
             "n_slices": result.n_slices,
@@ -284,6 +291,7 @@ class ApiHandler:
             session.volume.voxels,
             str(request["prompt"]),
             temporal=bool(request.get("temporal", True)),
+            temporal_mode=str(request.get("temporal_mode", "meanbox")),
             n_workers=int(request.get("n_workers", 1)),
             deadline_s=request.get("job_deadline_s"),
             priority=int(request.get("priority", 0)),

@@ -361,14 +361,23 @@ class Session:
 
     # -- Mode B --------------------------------------------------------------------
 
-    def segment_volume(self, prompt: str, *, temporal: bool = True) -> VolumeResult:
+    def segment_volume(
+        self, prompt: str, *, temporal: bool = True, temporal_mode: str | None = None
+    ) -> VolumeResult:
         if self.volume is None:
             raise SessionError("segment_volume requires a loaded volume")
-        result = self.pipeline.segment_volume(self.volume, prompt, temporal=temporal)
+        result = self.pipeline.segment_volume(
+            self.volume, prompt, temporal=temporal, temporal_mode=temporal_mode
+        )
         check_deadline("segment_volume (pre-commit)")
         self.last_volume_result = result
         self.history.append(
-            {"action": "segment_volume", "prompt": prompt, "n_slices": result.n_slices}
+            {
+                "action": "segment_volume",
+                "prompt": prompt,
+                "n_slices": result.n_slices,
+                "temporal_mode": temporal_mode or self.pipeline.config.temporal_mode,
+            }
         )
         return result
 

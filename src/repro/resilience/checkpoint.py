@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -54,6 +55,9 @@ class CheckpointManager:
 
     def shard_path(self, z: int) -> Path:
         return self.root / f"slice_{int(z):05d}.npy"
+
+    def state_path(self, name: str) -> Path:
+        return self.root / f"state_{name}.npz"
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -124,6 +128,41 @@ class CheckpointManager:
             return np.load(path, allow_pickle=False)
         except (OSError, ValueError) as exc:
             raise CheckpointError(f"cannot read checkpoint shard {path}: {exc}") from exc
+
+    def save_state(self, name: str, arrays: dict) -> None:
+        """Atomically persist a named bundle of arrays (auxiliary job state).
+
+        Used by the propagation path to shard its per-object memory next to
+        the mask shards: callers write the state *after* the slice shard, so
+        a crash between the two leaves at most one slice ahead of the state
+        — recomputed deterministically on resume.
+        """
+        path = self.state_path(name)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                np.savez(fh, **{k: np.asarray(v) for k, v in arrays.items()})
+            os.replace(tmp, path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(f"cannot write checkpoint state {path}: {exc}") from exc
+        record_event("checkpoint.saved_states")
+
+    def load_state(self, name: str) -> dict | None:
+        """Read a named state bundle back, or None when absent/unreadable.
+
+        An unreadable state shard is not fatal — the caller simply restarts
+        the computation from scratch (the mask shards stay authoritative).
+        """
+        path = self.state_path(name)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return {k: data[k].copy() for k in data.files}
+        except (OSError, ValueError, zipfile.BadZipFile):
+            record_event("checkpoint.dropped_states")
+            return None
 
     def finalize(self) -> None:
         """Mark the job complete in the manifest."""

@@ -202,6 +202,45 @@ class TestServerJobsHttp:
         assert samples > 0
         assert "repro_server_requests_total" in body
 
+    def test_metrics_exposition_covers_temporal_series(self, tmp_path):
+        """A propagate-mode run surfaces its repro_temporal_* series on
+        /metrics, each with proper HELP/TYPE preamble."""
+        with PlatformServer(jobs_dir=str(tmp_path / "jobs")) as srv:
+            _, r = _post(srv.url, {"action": "create_session"})
+            sid = r["session_id"]
+            _, r = _post(
+                srv.url,
+                {
+                    "action": "load_array",
+                    "session_id": sid,
+                    "data_base64": _npy_b64(_volume(3)),
+                    "modality": "fibsem",
+                },
+            )
+            assert r["ok"], r
+            code, r = _post(
+                srv.url,
+                {
+                    "action": "segment_volume",
+                    "session_id": sid,
+                    "prompt": PROMPT,
+                    "mode": "sync",
+                    "temporal_mode": "propagate",
+                },
+                timeout=240,
+            )
+            assert code == 200 and r["refinement"]["mode"] == "propagation", r
+            with urllib.request.urlopen(srv.url + "/metrics", timeout=10) as resp:
+                body = resp.read().decode()
+        for family in (
+            "repro_temporal_grounded_slices_total",
+            "repro_temporal_propagated_slices_total",
+            "repro_temporal_births_total",
+            "repro_temporal_confidence",
+        ):
+            assert f"# TYPE {family}" in body, f"missing exposition family {family}"
+            assert re.search(rf"^{family}(\{{[^}}]*\}})? ", body, re.M), family
+
     def test_http_submit_202_poll_events_result(self, tmp_path):
         vol = _volume(2)
         baseline = ZenesisPipeline().segment_volume(vol, PROMPT).masks

@@ -1,0 +1,223 @@
+"""Propagate-mode volume jobs: cancellation, checkpoint/resume, real kills.
+
+The satellite bugfix under test: the propagation slice loop was
+uncancellable — it now calls ``check_deadline`` per slice, so both a
+request :class:`Deadline` and a :class:`JobGuard` bound via
+``request_scope`` stop it at the next slice boundary.  The subprocess test
+at the bottom SIGKILLs a worker mid-propagation and proves the reclaimed,
+resumed job finishes bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cache import array_content_key
+from repro.core.pipeline import ZenesisConfig, ZenesisPipeline
+from repro.core.propagation import propagate_volume
+from repro.errors import DeadlineExceededError, JobCancelledError, PipelineError
+from repro.jobs import RUNNING, SUCCEEDED, JobGuard, JobService
+from repro.resilience.policy import Deadline
+from repro.resilience.serving.lifecycle import request_scope
+
+PROMPT = "catalyst particles"
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
+def _volume(n_slices: int = 4, edge: int = 64) -> np.ndarray:
+    return repro.make_sample("amorphous", shape=(edge, edge), n_slices=n_slices).volume.voxels
+
+
+class TestPropagateCancellation:
+    def test_propagate_volume_honors_deadline(self):
+        """An expired request deadline stops the slice loop (the old loop
+        ran to completion no matter what)."""
+        times = [0.0]
+        deadline = Deadline(1.0, clock=lambda: times[0])
+        times[0] = 5.0  # budget blown before the first slice
+        pipe = ZenesisPipeline()
+        with request_scope(deadline):
+            with pytest.raises(DeadlineExceededError, match="propagation"):
+                propagate_volume(pipe, _volume(3), PROMPT)
+
+    def test_propagate_volume_honors_job_guard_cancel(self, tmp_path):
+        """A JobGuard whose record was cancelled aborts propagation with
+        JobCancelledError — the jobs runner binds exactly this guard."""
+        svc = JobService(tmp_path / "jobs")
+        job = svc.submit_segment_volume(_volume(3), PROMPT, temporal_mode="propagate")
+        # Flip the cooperative flag directly: service.cancel() on a QUEUED
+        # job short-circuits to terminal CANCELLED, but a *running* worker
+        # sees exactly this flag through its guard.
+        rec = svc.store.get(job.job_id)
+        rec.cancel_requested = True
+        svc.store.upsert(rec)
+        guard = JobGuard(svc.store, job.job_id)
+        pipe = ZenesisPipeline()
+        with request_scope(guard):
+            with pytest.raises(JobCancelledError, match="cancelled"):
+                propagate_volume(pipe, _volume(3), PROMPT)
+
+    def test_segment_volume_propagate_honors_deadline(self):
+        times = [0.0]
+        deadline = Deadline(1.0, clock=lambda: times[0])
+        times[0] = 5.0
+        pipe = ZenesisPipeline(ZenesisConfig(temporal_mode="propagate"))
+        with request_scope(deadline):
+            with pytest.raises(DeadlineExceededError):
+                pipe.segment_volume(_volume(3), PROMPT)
+
+
+class TestPropagateCheckpointResume:
+    def test_abort_then_resume_bit_identical(self, tmp_path, monkeypatch):
+        """A propagate run aborted mid-volume resumes from its state shard
+        and finishes byte-identical to an uninterrupted run."""
+        vol = _volume(5)
+        ckpt_dir = tmp_path / "ck"
+        config = ZenesisConfig(temporal_mode="propagate")
+
+        monkeypatch.setenv("REPRO_FAULTS", "volume_abort@slice=3")
+        with pytest.raises(PipelineError, match="volume_abort"):
+            ZenesisPipeline(config).segment_volume(vol, PROMPT, checkpoint_dir=ckpt_dir)
+        assert (ckpt_dir / "state_propagation.npz").exists()
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        resumed = ZenesisPipeline(config).segment_volume(
+            vol, PROMPT, checkpoint_dir=ckpt_dir, resume=True
+        )
+        resumed_slices = [
+            sr.metadata["slice"] for sr in resumed.slice_results if sr.metadata.get("resumed")
+        ]
+        assert resumed_slices == [0, 1, 2]
+
+        baseline = ZenesisPipeline(config).segment_volume(vol, PROMPT)
+        assert np.array_equal(resumed.masks, baseline.masks)
+
+    def test_unreadable_state_shard_restarts_cleanly(self, tmp_path, monkeypatch):
+        """A truncated state shard is dropped (not trusted): the run starts
+        from slice 0 and still produces the uninterrupted masks."""
+        vol = _volume(4)
+        ckpt_dir = tmp_path / "ck"
+        config = ZenesisConfig(temporal_mode="propagate")
+
+        monkeypatch.setenv("REPRO_FAULTS", "volume_abort@slice=2")
+        with pytest.raises(PipelineError):
+            ZenesisPipeline(config).segment_volume(vol, PROMPT, checkpoint_dir=ckpt_dir)
+        monkeypatch.delenv("REPRO_FAULTS")
+        (ckpt_dir / "state_propagation.npz").write_bytes(b"torn")
+
+        resumed = ZenesisPipeline(config).segment_volume(
+            vol, PROMPT, checkpoint_dir=ckpt_dir, resume=True
+        )
+        assert not any(sr.metadata.get("resumed") for sr in resumed.slice_results)
+        baseline = ZenesisPipeline(config).segment_volume(vol, PROMPT)
+        assert np.array_equal(resumed.masks, baseline.masks)
+
+    def test_meanbox_checkpoint_rejected(self, tmp_path):
+        """Propagate and meanbox checkpoints never mix: the fingerprint
+        encodes the temporal mode."""
+        from repro.errors import CheckpointError
+
+        vol = _volume(3)
+        ckpt_dir = tmp_path / "ck"
+        ZenesisPipeline(ZenesisConfig()).segment_volume(vol, PROMPT, checkpoint_dir=ckpt_dir)
+        with pytest.raises(CheckpointError, match="different job"):
+            ZenesisPipeline(ZenesisConfig(temporal_mode="propagate")).segment_volume(
+                vol, PROMPT, checkpoint_dir=ckpt_dir, resume=True
+            )
+
+
+class TestPropagateJob:
+    def test_job_matches_direct_pipeline_bit_identical(self, tmp_path):
+        vol = _volume(4)
+        svc = JobService(tmp_path / "jobs")
+        job = svc.submit_segment_volume(vol, PROMPT, temporal_mode="propagate")
+        assert svc.runner.run_until_idle() == 1
+        result = svc.result(job.job_id)["result"]
+        assert result["temporal_mode"] == "propagate"
+        assert result["refinement"]["mode"] == "propagation"
+        direct = ZenesisPipeline(ZenesisConfig(temporal_mode="propagate")).segment_volume(
+            vol, PROMPT
+        )
+        assert result["masks_key"] == array_content_key(direct.masks)
+
+    def test_submit_rejects_unknown_mode(self, tmp_path):
+        from repro.errors import JobError
+
+        svc = JobService(tmp_path / "jobs")
+        with pytest.raises(JobError, match="temporal_mode"):
+            svc.submit_segment_volume(_volume(3), PROMPT, temporal_mode="telepathy")
+
+
+# -- real process death --------------------------------------------------------
+
+
+def _subprocess_env() -> dict:
+    src = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+class TestPropagateJobCrashRecovery:
+    def test_killed_propagate_job_resumes_bit_identical(self, tmp_path):
+        """SIGKILL mid-propagation: the lease expires, the retry resumes
+        from the mask + memory shards, and the final masks are bit-identical
+        to an uninterrupted propagate run."""
+        env = _subprocess_env()
+        script = (
+            "import sys\n"
+            "from repro.jobs import JobService\n"
+            "from repro.data import make_sample\n"
+            "vol = make_sample('amorphous', shape=(64, 64), n_slices=4).volume.voxels\n"
+            "svc = JobService(sys.argv[1], lease_ttl_s=0.5)\n"
+            f"job = svc.submit_segment_volume(vol, {PROMPT!r}, temporal_mode='propagate')\n"
+            "print(job.job_id, flush=True)\n"
+            "svc.runner.run_until_idle()\n"
+        )
+        jobs_dir = tmp_path / "jobs"
+        killed = subprocess.run(
+            [sys.executable, "-c", script, str(jobs_dir)],
+            env={**env, "REPRO_FAULTS": "job_crash@slice=2"},
+            capture_output=True,
+            timeout=300,
+        )
+        assert killed.returncode == 137, killed.stderr.decode()
+        job_id = killed.stdout.decode().split()[0]
+
+        svc = JobService(jobs_dir, lease_ttl_s=0.5)
+        rec = svc.store.get(job_id)
+        assert rec.state == RUNNING and rec.lease_owner is not None  # died holding the lease
+        ckpt_dir = Path(rec.checkpoint_dir)
+        assert (ckpt_dir / "slice_00001.npy").exists()
+        assert (ckpt_dir / "state_propagation.npz").exists()
+
+        time.sleep(0.6)  # let the lease expire
+        done = 0
+        give_up = time.monotonic() + 300
+        while done == 0 and time.monotonic() < give_up:
+            done = svc.runner.run_until_idle()
+            time.sleep(0.1)
+        assert done == 1
+        status = svc.status(job_id)
+        assert status["state"] == SUCCEEDED and status["attempt"] == 2
+
+        vol = _volume(4)
+        baseline = ZenesisPipeline(ZenesisConfig(temporal_mode="propagate")).segment_volume(
+            vol, PROMPT
+        )
+        result = svc.result(job_id)["result"]
+        assert result["resumed_slices"] >= 1
+        assert result["masks_key"] == array_content_key(baseline.masks)

@@ -17,7 +17,12 @@ from repro.observability import end_trace, span_topology, start_trace
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN = GOLDEN_DIR / "trace_topology.json"
+GOLDEN_PROPAGATE = GOLDEN_DIR / "trace_topology_propagate.json"
 PROMPT = "catalyst particles"
+
+#: The propagate path's decisions live in span attributes: which slices were
+#: grounded (and why) versus analytically propagated.
+PROPAGATE_ATTRS = ("slice", "stage", "worker", "grounded", "reason", "n_objects")
 
 
 def _capture_topology() -> dict:
@@ -34,6 +39,22 @@ def _capture_topology() -> dict:
     finally:
         tracer = end_trace()
     return span_topology(tracer.as_dict())
+
+
+def _capture_propagate_topology() -> dict:
+    """Trace a propagate-mode volume run and reduce it to topology.
+
+    The attribute whitelist is wider than the meanbox golden: the keyframe
+    decision (grounded / reason) *is* the behaviour being pinned.
+    """
+    vol = make_sample("crystalline", shape=(64, 64), n_slices=3).volume.voxels
+    pipeline = ZenesisPipeline(ZenesisConfig(use_cache=False, temporal_mode="propagate"))
+    start_trace("golden-propagate")
+    try:
+        pipeline.segment_volume(vol, PROMPT)
+    finally:
+        tracer = end_trace()
+    return span_topology(tracer.as_dict(), PROPAGATE_ATTRS)
 
 
 class TestGoldenTrace:
@@ -69,3 +90,55 @@ class TestGoldenTrace:
         assert "volume.segment" in names
         assert names.count("slice.prepare") == 2
         assert names.count("slice.segment") == 2
+
+
+def _walk_spans(node, out=None):
+    out = [] if out is None else out
+    out.append(node)
+    for child in node.get("children", ()):
+        _walk_spans(child, out)
+    return out
+
+
+class TestGoldenPropagateTrace:
+    def test_propagate_topology_matches_golden(self, update_golden):
+        topology = _capture_propagate_topology()
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            GOLDEN_PROPAGATE.write_text(json.dumps(topology, indent=1, sort_keys=True) + "\n")
+            pytest.skip(f"golden refreshed -> {GOLDEN_PROPAGATE}")
+        assert GOLDEN_PROPAGATE.exists(), (
+            "golden file missing; generate it with: pytest --update-golden"
+        )
+        golden = json.loads(GOLDEN_PROPAGATE.read_text())
+        assert topology == golden, (
+            "propagate span topology drifted from the golden trace; if the "
+            "change is intentional refresh it with: pytest --update-golden"
+        )
+
+    def test_propagate_topology_is_deterministic_across_runs(self):
+        assert _capture_propagate_topology() == _capture_propagate_topology()
+
+    def test_propagate_golden_distinguishes_keyframes_from_propagation(self):
+        """The pinned trace must make the engine's decisions legible: slice 0
+        is a grounded keyframe (reason recorded on a propagate.ground child),
+        later slices carry grounded=False and no grounding child."""
+        golden = json.loads(GOLDEN_PROPAGATE.read_text())
+        spans = _walk_spans(golden)
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s["name"], []).append(s)
+        assert "volume.propagate" in by_name
+        slice_spans = by_name["slice.propagate"]
+        assert len(slice_spans) == 3
+        first = next(s for s in slice_spans if s["attrs"]["slice"] == 0)
+        assert first["attrs"]["grounded"] is True
+        ground_children = [c for c in first.get("children", ()) if c["name"] == "propagate.ground"]
+        assert len(ground_children) == 1
+        assert ground_children[0]["attrs"]["reason"] == "initial"
+        for s in slice_spans:
+            if s["attrs"]["slice"] == 0:
+                continue
+            assert s["attrs"]["grounded"] is False
+            child_names = {c["name"] for c in s.get("children", ())}
+            assert "propagate.ground" not in child_names

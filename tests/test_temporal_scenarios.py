@@ -1,0 +1,191 @@
+"""Drift / occlusion / split-merge battery for memory-conditioned propagation.
+
+Each test runs the real pipeline (surrogate models) on a scripted scene from
+``repro.data.synthesis.scenarios`` and asserts the *behavioural* contract of
+``temporal_mode="propagate"``: memory follows drifting objects, occlusion is
+registered as object loss (not hallucinated through), and the lost object is
+re-acquired by a DINO re-grounding — while the paper's mean-box heuristic
+has no object model at all and papers over absence with fabricated boxes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.masks import connected_components, masks_iou
+from repro.core.pipeline import ZenesisConfig, ZenesisPipeline
+from repro.core.propagation import PropagationConfig
+from repro.core.temporal import TemporalConfig, refine_box_sequences
+from repro.data.synthesis import (
+    ANCHOR_BASE,
+    SCENARIO_KINDS,
+    ScenarioConfig,
+    synthesize_scenario_volume,
+)
+
+PROMPT = "catalyst particles"
+
+#: Battery tuning: a candidate matching its memory below 0.3 IoU is treated
+#: as a miss (the default 0.2 lets plain-film hypotheses coast through an
+#: occlusion), and keyframes come often enough that a lost object is
+#: re-acquired within the 12-slice stacks used here.
+BATTERY = PropagationConfig(min_candidate_iou=0.3, keyframe_interval=4)
+
+
+def _propagate(volume, config: PropagationConfig = BATTERY):
+    pipe = ZenesisPipeline(ZenesisConfig(temporal_mode="propagate", propagation=config))
+    return pipe.segment_volume(volume, PROMPT)
+
+
+def _component_iou(pred: np.ndarray, gt: np.ndarray) -> float:
+    """Best IoU of any single predicted component against one object's GT."""
+    best = 0.0
+    for comp in connected_components(pred, min_area=1):
+        best = max(best, masks_iou(comp, gt))
+    return best
+
+
+class TestScenarioSynthesis:
+    @pytest.mark.parametrize("kind", SCENARIO_KINDS)
+    def test_deterministic_in_seed(self, kind):
+        a = synthesize_scenario_volume(kind=kind, seed=11)
+        b = synthesize_scenario_volume(kind=kind, seed=11)
+        c = synthesize_scenario_volume(kind=kind, seed=12)
+        assert np.array_equal(a.volume.voxels, b.volume.voxels)
+        assert np.array_equal(a.labels, b.labels)
+        assert not np.array_equal(a.volume.voxels, c.volume.voxels)
+
+    def test_occlusion_script(self):
+        s = synthesize_scenario_volume(kind="occlusion", seed=5)
+        cfg = s.config
+        window = range(cfg.occlude_from, cfg.occlude_from + cfg.occlude_slices)
+        assert cfg.occlude_slices >= 3
+        for z in range(s.n_slices):
+            present = s.object_mask(1)[z].any()
+            assert present != (z in window)
+        events = {e["event"]: e["z"] for e in s.events}
+        assert events == {"vanish": cfg.occlude_from, "reappear": cfg.occlude_from + cfg.occlude_slices}
+
+    def test_split_merge_script(self):
+        s = synthesize_scenario_volume(kind="split_merge", seed=5)
+        events = {e["event"]: e["z"] for e in s.events}
+        assert events["split"] < events["merge"]
+        # Two disjoint scripted children exist strictly between the events.
+        mid = (events["split"] + events["merge"]) // 2
+        assert s.object_mask(1)[mid].any() and s.object_mask(2)[mid].any()
+        assert not s.object_mask(2)[0].any() and not s.object_mask(2)[-1].any()
+
+    def test_anchors_are_labelled_apart(self):
+        s = synthesize_scenario_volume(kind="drift", seed=5)
+        anchor_ids = set(np.unique(s.labels)) - {0} - set(range(1, ANCHOR_BASE))
+        assert len(anchor_ids) == s.config.n_anchors
+        assert not (s.scripted_mask & (s.labels >= ANCHOR_BASE)).any()
+
+    def test_validation(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            synthesize_scenario_volume(kind="teleport")
+        with pytest.raises(ValidationError):
+            synthesize_scenario_volume(kind="occlusion", n_slices=8, occlude_from=6)
+
+
+class TestDriftScenario:
+    def test_propagation_follows_drifting_objects(self):
+        s = synthesize_scenario_volume(kind="drift", seed=5)
+        res = _propagate(s.volume.voxels)
+        ious = [masks_iou(res.masks[z], s.catalyst_mask[z]) for z in range(s.n_slices)]
+        assert min(ious) > 0.4
+        assert float(np.mean(ious)) > 0.6
+        # The point of propagation: the whole stack needed only a handful of
+        # DINO groundings.
+        assert res.refinement_report["grounded_slices"] <= 3
+
+
+class TestOcclusionScenario:
+    """The acceptance battery: loss registered, no ghost, re-ground recovery."""
+
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return synthesize_scenario_volume(kind="occlusion", seed=5)
+
+    @pytest.fixture(scope="class")
+    def result(self, scene):
+        return _propagate(scene.volume.voxels)
+
+    def test_no_ghost_during_occlusion(self, scene, result):
+        cfg = scene.config
+        footprint = scene.object_mask(1)[cfg.occlude_from - 1]
+        for z in range(cfg.occlude_from, cfg.occlude_from + cfg.occlude_slices):
+            assert _component_iou(result.masks[z], footprint) < 0.1, (
+                f"slice {z}: propagation hallucinated the occluded object"
+            )
+
+    def test_loss_is_registered(self, result):
+        assert result.refinement_report["deaths"] >= 1
+
+    def test_reground_reacquires_with_iou(self, scene, result):
+        cfg = scene.config
+        reappear = cfg.occlude_from + cfg.occlude_slices
+        reacquired = None
+        for z in range(reappear, scene.n_slices):
+            if _component_iou(result.masks[z], scene.object_mask(1)[z]) >= 0.5:
+                reacquired = z
+                break
+        assert reacquired is not None, "occluded object never re-acquired"
+        # Lost for at least the scripted >= 3 occluded slices.
+        assert reacquired - cfg.occlude_from >= 3
+        # Recovery came from a DINO re-grounding, not from coasting memory.
+        assert result.slice_results[reacquired].metadata.get("grounded")
+        # Every later slice keeps tracking it.
+        for z in range(reacquired, scene.n_slices):
+            assert _component_iou(result.masks[z], scene.object_mask(1)[z]) >= 0.5
+
+    def test_still_cheaper_than_per_slice_grounding(self, scene, result):
+        assert result.refinement_report["grounded_slices"] <= scene.n_slices // 2
+
+    def test_meanbox_has_no_object_model(self, scene):
+        """The mean-box heuristic cannot express (or recover from) loss."""
+        pipe = ZenesisPipeline(ZenesisConfig())
+        res = pipe.segment_volume(scene.volume.voxels, PROMPT)
+        report = res.refinement_report
+        # Its report speaks only of box replacements — no births, deaths, or
+        # re-grounds exist in the mean-box world.
+        for key in ("deaths", "births", "regrounds", "grounded_slices"):
+            assert key not in report
+
+
+def test_meanbox_fabricates_boxes_through_absence():
+    """refine_box_sequences fills an occlusion with invented boxes.
+
+    This is the documented mean-box behaviour (empty slices inherit the
+    window-mean box) and exactly why it cannot *recover* an occluded object:
+    absence is papered over instead of being modelled, so the fabricated
+    boxes keep prompting the decoder at the stale position.
+    """
+    box = np.array([[40.0, 80.0, 60.0, 100.0]])
+    seq = [box.copy() for _ in range(4)] + [np.zeros((0, 4))] * 3 + [box.copy() for _ in range(3)]
+    refined, report = refine_box_sequences(seq, TemporalConfig(), image_shape=(128, 128))
+    fabricated = [r for r in report.replacements if r["reason"] == "empty"]
+    assert [r["slice"] for r in fabricated] == [4, 5, 6]
+    for z in (4, 5, 6):
+        # The invented box sits at the vanished object's stale position.
+        assert len(refined[z]) == 1
+        assert np.allclose(refined[z][0], box[0], atol=1.0)
+
+
+class TestSplitMergeScenario:
+    def test_propagation_survives_split_and_merge(self):
+        s = synthesize_scenario_volume(kind="split_merge", seed=5)
+        events = {e["event"]: e["z"] for e in s.events}
+        res = _propagate(s.volume.voxels)
+        # Clean tracking before the split and after the merge.
+        for z in range(1, events["split"]):
+            assert _component_iou(res.masks[z], s.object_mask(1)[z]) >= 0.5
+        for z in range(events["merge"], s.n_slices):
+            assert _component_iou(res.masks[z], s.object_mask(1)[z]) >= 0.5
+        # Something is still tracked through the split interval.
+        for z in range(events["split"], events["merge"]):
+            assert masks_iou(res.masks[z], s.catalyst_mask[z]) > 0.15
+        assert res.refinement_report["grounded_slices"] <= 3
