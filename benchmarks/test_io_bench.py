@@ -1,0 +1,146 @@
+"""Streaming ingestion throughput benchmark → ``BENCH_io.json``.
+
+Measures tiles/s for the out-of-core ingestion path across front ends and
+policies, against an eager full-materialization baseline *measured in the
+same run*:
+
+* ``eager_npy`` — ``np.load`` the whole volume, then walk slices (the
+  pre-streaming behaviour; same-run reference for the ratios).
+* ``stream_npy`` / ``stream_tiff`` — ``TileStream`` + ``Prefetcher`` under
+  a budget a small fraction of the volume.
+* ``stream_npy_checksum`` — the same with per-tile sha256 verification
+  against a sidecar (the integrity tax, measured not guessed).
+
+Also reports the structural residency ceiling (prefetcher high-water mark
+÷ volume bytes) and the process peak-RSS delta, both informational except
+for the hard assertion that the high-water mark respects the budget.
+
+Acceptance (asserted here, gated in CI against the committed
+``BENCH_io.json`` by ``benchmarks/check_io_regression.py``): streaming
+throughput ≥ 0.25× eager on both front ends (the budget-bounded path may
+pay decode + thread-hop overhead but must stay the same order of
+magnitude), and resident tile bytes never exceed the budget.
+
+``REPRO_BENCH_QUICK=1`` halves the slice count; ratios are same-run, so
+they stay comparable with the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+
+import numpy as np
+
+from repro.io import IngestPolicy, Prefetcher, TileStream, open_lazy_volume, write_sidecar
+from repro.io.tiff import write_tiff
+
+from .conftest import ARTIFACT_DIR
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+N_SLICES = 16 if QUICK else 32
+SIDE = 512
+REPEATS = 3
+BENCH_PATH = ARTIFACT_DIR / "BENCH_io.json"
+
+
+def _volume() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return (rng.random((N_SLICES, SIDE, SIDE)) * 255).astype(np.uint8)
+
+
+def _timed(fn) -> float:
+    """Median wall seconds over REPEATS runs."""
+    laps = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        laps.append(time.perf_counter() - t0)
+    return float(np.median(laps))
+
+
+def _consume(tile: np.ndarray) -> int:
+    return int(tile[0, 0])  # touch the tile so the read isn't elided
+
+
+def test_io_bench(tmp_path):
+    vol = _volume()
+    npy_path = tmp_path / "v.npy"
+    np.save(npy_path, vol, allow_pickle=False)
+    tiff_path = tmp_path / "v.tif"
+    write_tiff(tiff_path, vol, compress=False)
+    budget = 4 * vol[0].nbytes  # 4 tiles resident of N_SLICES
+
+    def eager():
+        arr = np.load(npy_path, allow_pickle=False)
+        for z in range(arr.shape[0]):
+            _consume(arr[z])
+
+    residency: dict[str, float] = {}
+
+    def stream(path, key, policy):
+        def run():
+            with open_lazy_volume(path) as lazy:
+                fetcher = Prefetcher(TileStream(lazy, policy))
+                for _z, tile, _reason in fetcher:
+                    _consume(tile)
+                residency[key] = fetcher.max_resident_bytes
+        return run
+
+    rss_before_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    results = {
+        "eager_npy": _timed(eager),
+        "stream_npy": _timed(stream(npy_path, "stream_npy", IngestPolicy(memory_budget_bytes=budget))),
+        "stream_tiff": _timed(stream(tiff_path, "stream_tiff", IngestPolicy(memory_budget_bytes=budget))),
+    }
+    with open_lazy_volume(npy_path) as lazy:
+        write_sidecar(lazy)
+    results["stream_npy_checksum"] = _timed(
+        stream(npy_path, "stream_npy_checksum", IngestPolicy(memory_budget_bytes=budget))
+    )
+    rss_after_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    tiles_per_s = {k: round(N_SLICES / s, 1) for k, s in results.items()}
+    ratios = {
+        f"{k}_vs_eager": round(tiles_per_s[k] / tiles_per_s["eager_npy"], 3)
+        for k in tiles_per_s
+        if k != "eager_npy"
+    }
+    report = {
+        "schema": 1,
+        "quick": QUICK,
+        "config": {
+            "n_slices": N_SLICES,
+            "side": SIDE,
+            "dtype": "uint8",
+            "volume_mb": round(vol.nbytes / 2**20, 1),
+            "budget_tiles": 4,
+            "repeats": REPEATS,
+        },
+        "tiles_per_s": tiles_per_s,
+        "ratios": ratios,
+        "residency": {
+            "budget_bytes": budget,
+            "max_resident_bytes": {k: int(v) for k, v in residency.items()},
+            "resident_fraction_of_volume": {
+                k: round(v / vol.nbytes, 4) for k, v in residency.items()
+            },
+        },
+        "peak_rss_delta_mb": round((rss_after_kb - rss_before_kb) / 1024, 1),
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nBENCH_io.json → {BENCH_PATH}")
+    for name, tps in tiles_per_s.items():
+        print(f"  {name:<22} {tps:>8.1f} tiles/s")
+    for name, r in ratios.items():
+        print(f"  {name:<34} {r:>6.3f}x")
+    print(f"  peak RSS delta {report['peak_rss_delta_mb']} MB over {report['config']['volume_mb']} MB volume")
+
+    # Structural ceiling: resident decoded tile bytes never exceed the budget.
+    for key, high_water in residency.items():
+        assert 0 < high_water <= budget, (key, high_water, budget)
+    # Streaming stays the same order of magnitude as eager on both front ends.
+    assert ratios["stream_npy_vs_eager"] >= 0.25, report["ratios"]
+    assert ratios["stream_tiff_vs_eager"] >= 0.25, report["ratios"]

@@ -85,6 +85,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="volume engine: ground every slice + mean-box refinement, or "
         "memory-conditioned propagation with keyframe re-grounding",
     )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the volume out-of-core (LazyVolume): tiles load on demand "
+        "under --memory-budget-mb, masks land as per-slice shards in "
+        "--checkpoint-dir, and corrupt tiles follow --on-corrupt",
+    )
+    p.add_argument(
+        "--on-corrupt",
+        choices=["fail", "skip", "degrade"],
+        default="fail",
+        help="streaming policy for corrupt tiles: fail the run, skip (zero "
+        "mask), or degrade (segment salvaged bytes); skip/degrade record the "
+        "slice in the run manifest",
+    )
+    p.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="streaming prefetch budget (bounds resident tile bytes)",
+    )
 
     p = sub.add_parser("batch", help="Mode B batch segmentation of a volume")
     _add_precision_flag(p)
@@ -230,6 +252,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="meanbox",
         help="volume engine for segment_volume jobs",
     )
+    jp.add_argument(
+        "--stream",
+        action="store_true",
+        help="submit --path as a streaming job (snapshot the file, never "
+        "materialize the voxels; masks land as per-slice shards)",
+    )
+    jp.add_argument(
+        "--on-corrupt",
+        choices=["fail", "skip", "degrade"],
+        default="fail",
+        help="corrupt-tile policy for --stream jobs",
+    )
+    jp.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="prefetch budget for --stream jobs",
+    )
     jp.add_argument("--run", action="store_true", help="also execute queued jobs here until idle")
     jp = jsub.add_parser("status", help="print one job (or the whole queue) as JSON")
     jp.add_argument("job_id", nargs="?", default=None)
@@ -249,6 +290,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="http://127.0.0.1:8765",
         help="the router's base url (the --port a `repro serve --replicas N` listens on)",
     )
+
+    p = sub.add_parser("io", help="volume ingestion utilities (verify/checksum)")
+    iosub = p.add_subparsers(dest="io_command", required=True)
+    ip = iosub.add_parser(
+        "verify",
+        help="walk every tile of an on-disk volume, classify damage "
+        "(torn/flip/unreadable), print a JSON report; exit 1 when damaged",
+    )
+    ip.add_argument("path", type=Path)
+    ip = iosub.add_parser(
+        "checksum",
+        help="write the per-tile sha256 sidecar that lets ingestion "
+        "detect silent bit-flips (not just truncation)",
+    )
+    ip.add_argument("path", type=Path)
 
     p = sub.add_parser("readiness", help="score a file's AI-readiness")
     p.add_argument("path", type=Path)
@@ -303,10 +359,12 @@ def _cmd_segment(args) -> int:
     from .platform.render import save_figure
     from .viz.overlay import overlay_mask
 
-    arr = load_image_file(args.path)
     if args.resume and args.checkpoint_dir is None:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.stream:
+        return _cmd_segment_stream(args)
+    arr = load_image_file(args.path)
     _start_observability(args, "segment")
     pipeline = ZenesisPipeline(
         ZenesisConfig(use_cache=not args.no_cache, temporal_mode=args.temporal_mode)
@@ -340,6 +398,65 @@ def _cmd_segment(args) -> int:
         print()
         print(pipeline.profiler.format_table())
     return 0
+
+
+def _cmd_segment_stream(args) -> int:
+    """``segment --stream``: out-of-core Mode B over a LazyVolume.
+
+    The volume is never fully resident — masks persist as per-slice shards
+    in the checkpoint directory (default ``<input>.ckpt/``), which doubles
+    as the resume point after a crash or kill.
+    """
+    from .core.pipeline import ZenesisConfig, ZenesisPipeline
+    from .io.integrity import IngestPolicy
+
+    ckpt_dir = args.checkpoint_dir or args.path.with_suffix(args.path.suffix + ".ckpt")
+    _start_observability(args, "segment")
+    pipeline = ZenesisPipeline(
+        ZenesisConfig(use_cache=not args.no_cache, temporal_mode=args.temporal_mode)
+    )
+    policy = IngestPolicy(
+        on_corrupt=args.on_corrupt,
+        memory_budget_bytes=int(args.memory_budget_mb * 1024 * 1024),
+    )
+    result = pipeline.segment_volume_stream(
+        args.path,
+        args.prompt,
+        checkpoint_dir=ckpt_dir,
+        resume=args.resume,
+        policy=policy,
+    )
+    degraded_note = ""
+    if result.degraded:
+        marks = ", ".join(f"{z}:{r}" for z, r in sorted(result.degraded.items()))
+        degraded_note = f"; degraded slices: {marks}"
+    print(
+        f"{result.n_slices} slices streamed; volume fraction "
+        f"{result.volume_fraction():.3f}{degraded_note}"
+    )
+    print(f"mask shards -> {ckpt_dir}")
+    _write_observability(args, "segment", config=pipeline.config, profiler=pipeline.profiler)
+    if args.profile:
+        print()
+        print(pipeline.profiler.format_table())
+    return 0
+
+
+def _cmd_io(args) -> int:
+    from .io.integrity import verify_volume, write_sidecar
+    from .io.lazy import open_lazy_volume
+
+    if args.io_command == "verify":
+        with open_lazy_volume(args.path) as volume:
+            report = verify_volume(volume)
+        print(json.dumps(report, indent=2))
+        return 0 if report["ok"] else 1
+    if args.io_command == "checksum":
+        with open_lazy_volume(args.path) as volume:
+            side = write_sidecar(volume)
+        print(f"sidecar -> {side}")
+        return 0
+    return 2
 
 
 def _cmd_batch(args) -> int:
@@ -544,17 +661,28 @@ def _cmd_jobs(args) -> int:
             if args.path is None or args.prompt is None:
                 print("segment_volume jobs need --path and --prompt", file=sys.stderr)
                 return 2
-            from .io.formats import load_image_file
+            if args.stream:
+                job = svc.submit_segment_volume_path(
+                    args.path,
+                    args.prompt,
+                    temporal=not args.no_temporal,
+                    temporal_mode=args.temporal_mode,
+                    on_corrupt=args.on_corrupt,
+                    memory_budget_mb=args.memory_budget_mb,
+                    priority=args.priority,
+                )
+            else:
+                from .io.formats import load_image_file
 
-            arr = load_image_file(args.path)
-            job = svc.submit_segment_volume(
-                arr,
-                args.prompt,
-                temporal=not args.no_temporal,
-                temporal_mode=args.temporal_mode,
-                n_workers=args.workers,
-                priority=args.priority,
-            )
+                arr = load_image_file(args.path)
+                job = svc.submit_segment_volume(
+                    arr,
+                    args.prompt,
+                    temporal=not args.no_temporal,
+                    temporal_mode=args.temporal_mode,
+                    n_workers=args.workers,
+                    priority=args.priority,
+                )
         else:
             params = json.loads(args.params) if args.params else {}
             job = svc.submit(args.kind, params, priority=args.priority)
@@ -626,6 +754,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "cluster": _cmd_cluster,
     "jobs": _cmd_jobs,
+    "io": _cmd_io,
     "readiness": _cmd_readiness,
 }
 

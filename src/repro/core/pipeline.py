@@ -46,7 +46,7 @@ from ..resilience.serving.lifecycle import check_deadline
 from ..utils.timing import StageProfiler
 from .prompts import SpatialHints, TextPrompt
 from .propagation import PropagationConfig, PropagationEngine, resume_propagation
-from .results import SliceResult, VolumeResult
+from .results import SliceResult, StreamResult, VolumeResult
 from .temporal import RefinementReport, TemporalConfig, refine_box_sequences
 
 __all__ = ["ZenesisConfig", "ZenesisPipeline"]
@@ -552,6 +552,270 @@ class ZenesisPipeline:
             refinement_report=report.as_dict(),
             profiler=self.profiler,
         )
+
+    # -- streaming (out-of-core) ---------------------------------------------------
+
+    def _stream_fingerprint(self, volume, text: str, extra: str) -> str:
+        """Checkpoint identity for a streamed volume: one hashing IO pass.
+
+        Corrupt tiles contribute a structural marker instead of bytes, so a
+        volume with a torn tail still has a *stable* identity across resume
+        attempts (the alternative — refusing to fingerprint — would make
+        exactly the damaged volumes the ones that cannot resume).
+        """
+        from hashlib import sha1
+
+        from ..errors import CorruptTileError
+
+        h = sha1()
+        h.update(repr((tuple(volume.shape), str(volume.dtype))).encode())
+        for z in range(volume.n_tiles):
+            try:
+                h.update(volume.tile_bytes(z))
+            except CorruptTileError as exc:
+                h.update(f"corrupt:{z}:{exc.kind}".encode())
+        return combine_keys(
+            h.hexdigest(), repr(text), config_fingerprint(self.config), extra, "stream"
+        )
+
+    def segment_volume_stream(
+        self,
+        source,
+        prompt: str | TextPrompt,
+        *,
+        temporal: bool = True,
+        temporal_mode: str | None = None,
+        checkpoint_dir: Path | str,
+        resume: bool = False,
+        policy=None,
+        on_slice=None,
+    ) -> StreamResult:
+        """Mode B over a :class:`~repro.io.LazyVolume`: out-of-core streaming.
+
+        ``source`` is a LazyVolume or a path (file or slice directory) opened
+        with :func:`~repro.io.open_lazy_volume`.  Masks are written straight
+        to ``checkpoint_dir`` shards — the full (Z, H, W) stack is never
+        materialized, and decoded tiles flow through a prefetch window
+        bounded by ``policy.memory_budget_bytes``.
+
+        Clean data produces masks bit-identical to :meth:`segment_volume` on
+        the eagerly-loaded array: both paths run the same deterministic
+        adapt → ground → refine → decode per slice.  The meanbox engine
+        streams in two passes (boxes only are retained between them; pass 2
+        re-runs adaptation/grounding, which the content-addressed cache
+        serves when enabled) so temporal refinement sees every slice without
+        holding any.  Corrupt tiles follow ``policy.on_corrupt``: ``fail``
+        aborts, ``skip``/``degrade`` substitute data and record the slice in
+        the checkpoint manifest's degraded markers — the run *completes*.
+
+        ``on_slice(z, phase, total)`` fires per slice (phases ``prepare`` /
+        ``segment`` / ``propagate``) — the jobs runner's progress hook.
+        """
+        from ..io.integrity import IngestPolicy, Prefetcher, TileStream
+        from ..io.lazy import LazyVolume, open_lazy_volume
+
+        if checkpoint_dir is None:
+            raise PipelineError(
+                "segment_volume_stream requires checkpoint_dir: streamed masks "
+                "live as checkpoint shards, not in memory"
+            )
+        text = prompt.text if isinstance(prompt, TextPrompt) else str(prompt)
+        owns_volume = not isinstance(source, LazyVolume)
+        volume = open_lazy_volume(source) if owns_volume else source
+        try:
+            return self._segment_volume_stream(
+                volume,
+                text,
+                temporal=temporal,
+                temporal_mode=temporal_mode,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                policy=policy if policy is not None else IngestPolicy(),
+                on_slice=on_slice,
+                prefetcher_cls=Prefetcher,
+                stream_cls=TileStream,
+            )
+        finally:
+            if owns_volume:
+                volume.close()
+
+    def _segment_volume_stream(
+        self,
+        volume,
+        text: str,
+        *,
+        temporal: bool,
+        temporal_mode: str | None,
+        checkpoint_dir: Path | str,
+        resume: bool,
+        policy,
+        on_slice,
+        prefetcher_cls,
+        stream_cls,
+    ) -> StreamResult:
+        mode = temporal_mode if temporal_mode is not None else self.config.temporal_mode
+        if mode not in ("meanbox", "propagate"):
+            raise PipelineError(f"temporal_mode must be 'meanbox' or 'propagate', got {mode!r}")
+        n = volume.n_tiles
+        stream = stream_cls(volume, policy)
+        extra = "temporal_mode=propagate" if mode == "propagate" else f"temporal={bool(temporal)}"
+        with trace("volume.stream_fingerprint", n_slices=n):
+            fingerprint = self._stream_fingerprint(volume, text, extra)
+        ckpt = CheckpointManager(
+            checkpoint_dir,
+            fingerprint=fingerprint,
+            n_slices=n,
+            meta={"prompt": text, "stream": True, "source": volume.source_path},
+        )
+        done = ckpt.load(resume=resume)
+        if done:
+            record_event("checkpoint.resumed_slices", len(done))
+        registry = get_registry()
+        if mode == "propagate":
+            coverage = self._stream_propagate(volume, stream, text, ckpt, on_slice)
+            report = {"mode": "propagation", "temporal_mode": "propagate"}
+        else:
+            coverage, report = self._stream_meanbox(
+                volume, stream, text, ckpt, done, temporal, on_slice, prefetcher_cls
+            )
+        # Tiles the policy substituted this run; prior runs' markers are in
+        # the manifest meta already (merged by ckpt.load).
+        for z, reason in stream.degraded.items():
+            if z not in ckpt.degraded:
+                ckpt.mark_degraded(z, reason)
+        ckpt.finalize()
+        registry.gauge("repro_io_stream_degraded_slices").set(len(ckpt.degraded))
+        self.profiler.set_counters(self.cache.counters())
+        self.profiler.set_counters(events_snapshot())
+        return StreamResult(
+            n_slices=n,
+            slice_shape=volume.tile_shape,
+            checkpoint_dir=str(ckpt.root),
+            prompt=text,
+            per_slice_coverage=tuple(coverage),
+            degraded=ckpt.degraded,
+            refinement_report=report if isinstance(report, dict) else report.as_dict(),
+            io_stats={
+                "n_tiles": n,
+                "tile_nbytes": volume.tile_nbytes,
+                "degraded": len(ckpt.degraded),
+                "quarantined": list(stream.quarantined),
+                "source": volume.source_path,
+                "meta": {k: v for k, v in volume.meta.items()},
+            },
+            profiler=self.profiler,
+        )
+
+    def _stream_meanbox(
+        self, volume, stream, text, ckpt, done, temporal, on_slice, prefetcher_cls
+    ):
+        """Two-pass streaming meanbox: boxes survive between passes, tiles don't.
+
+        Pass 1 grounds every slice and keeps only its boxes (a few hundred
+        bytes each).  Pass 2 re-fetches each tile, re-runs adaptation and
+        grounding (deterministic; cache-served when enabled) and decodes with
+        the refined boxes.  Identical per-slice computation to the eager
+        path — hence bit-identical masks — at O(prefetch window) memory.
+        """
+        n = volume.n_tiles
+        plan = get_fault_plan()
+        registry = get_registry()
+        per_slice_boxes: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        with trace("volume.stream_prepare", prompt=text, n_slices=n):
+            prefetch = prefetcher_cls(stream)
+            for z, tile, _reason in prefetch:
+                check_deadline(f"segment_volume_stream (prepare slice {z})")
+                with trace("slice.prepare", slice=z):
+                    det_img, _seg_img = self.adapt(tile)
+                    per_slice_boxes[z] = self.ground(det_img, text, slice_index=z).boxes
+                if on_slice is not None:
+                    on_slice(z, "prepare", n)
+            registry.gauge("repro_io_stream_max_resident_bytes").set(
+                prefetch.max_resident_bytes
+            )
+
+        report = RefinementReport(n_slices=n)
+        if temporal:
+            with self.profiler.stage("temporal.refine"):
+                per_slice_boxes, report = refine_box_sequences(
+                    per_slice_boxes, self.config.temporal, image_shape=volume.tile_shape
+                )
+
+        coverage = [0.0] * n
+        with trace("volume.stream_segment", prompt=text, n_slices=n):
+            prefetch = prefetcher_cls(stream, skip=lambda z: z in done)
+            pending = iter(prefetch)
+            for z in range(n):
+                check_deadline(f"segment_volume_stream (segment slice {z})")
+                if plan.active:
+                    plan.crash_if("volume_crash", slice=z)
+                    if plan.should_fire("volume_abort", slice=z):
+                        raise PipelineError(f"injected volume_abort fault at slice {z}")
+                with trace("slice.segment", slice=z) as span:
+                    if z in done:
+                        span.set(resumed=True)
+                        registry.counter("repro_pipeline_resumed_slices_total").inc()
+                        coverage[z] = float(
+                            np.asarray(ckpt.load_slice(z), dtype=bool).mean()
+                        )
+                    else:
+                        pz, tile, _reason = next(pending)
+                        assert pz == z, f"prefetcher yielded slice {pz}, expected {z}"
+                        _det_img, seg_img = self.adapt(tile)
+                        detection = self.ground(_det_img, text, slice_index=z)
+                        mask, _per_box, _kinds = self.segment_with_boxes(
+                            seg_img, detection, per_slice_boxes[z]
+                        )
+                        coverage[z] = float(mask.mean())
+                        registry.counter("repro_pipeline_slices_total").inc()
+                        if z in stream.degraded:
+                            ckpt.mark_degraded(z, stream.degraded[z])
+                        ckpt.save_slice(z, mask)
+                if on_slice is not None:
+                    on_slice(z, "segment", n)
+            gauge = registry.gauge("repro_io_stream_max_resident_bytes")
+            gauge.set(max(gauge.value, prefetch.max_resident_bytes))
+        return coverage, report
+
+    def _stream_propagate(self, volume, stream, text, ckpt, on_slice):
+        """One-pass streaming propagation: the engine is the only state."""
+        from .propagation import STATE_NAME
+
+        n = volume.n_tiles
+        engine = PropagationEngine(self, text, config=self.config.propagation)
+        start_z = 0
+        if ckpt.completed:
+            start_z = resume_propagation(ckpt, engine, None)
+            if start_z:
+                record_event("checkpoint.resumed_slices", start_z)
+        plan = get_fault_plan()
+        registry = get_registry()
+        coverage = [0.0] * n
+        for z in range(start_z):
+            coverage[z] = float(np.asarray(ckpt.load_slice(z), dtype=bool).mean())
+        with trace("volume.stream_propagate", prompt=text, n_slices=n):
+            for z in range(start_z, n):
+                check_deadline(f"segment_volume_stream (propagate slice {z})")
+                if plan.active:
+                    plan.crash_if("volume_crash", slice=z)
+                    if plan.should_fire("volume_abort", slice=z):
+                        raise PipelineError(f"injected volume_abort fault at slice {z}")
+                tile, reason = stream.fetch(z)
+                with trace("slice.propagate", slice=z) as span:
+                    mask, meta = engine.step(z, tile)
+                    span.set(
+                        grounded=bool(meta.get("grounded", False)),
+                        n_objects=int(meta.get("n_objects", 0)),
+                    )
+                coverage[z] = float(mask.mean())
+                registry.counter("repro_pipeline_slices_total").inc()
+                if reason is not None:
+                    ckpt.mark_degraded(z, reason)
+                ckpt.save_slice(z, mask)
+                ckpt.save_state(STATE_NAME, engine.state.to_arrays())
+                if on_slice is not None:
+                    on_slice(z, "propagate", n)
+        return coverage
 
     def _segment_volume_propagate(
         self,

@@ -633,7 +633,7 @@ class PropagationEngine:
         return union
 
 
-def resume_propagation(ckpt, engine: PropagationEngine, masks: np.ndarray) -> int:
+def resume_propagation(ckpt, engine: PropagationEngine, masks: np.ndarray | None) -> int:
     """Restore ``engine.state`` and completed masks from a checkpoint.
 
     Returns the first slice index still to be computed (0 when the
@@ -642,18 +642,24 @@ def resume_propagation(ckpt, engine: PropagationEngine, masks: np.ndarray) -> in
     the slice shard, so a crash between the two leaves shards ahead of the
     state, which are simply recomputed (deterministically, to identical
     bytes).
+
+    ``masks=None`` (the streaming path) verifies the shards are readable
+    without materializing them — the masks stay on disk.
     """
     arrays = ckpt.load_state(STATE_NAME)
     if arrays is None:
         return 0
     state = PropagationState.from_arrays(arrays)
     z_done = state.z
-    if z_done < 0 or z_done >= masks.shape[0]:
+    n = ckpt.n_slices if masks is None else masks.shape[0]
+    if z_done < 0 or z_done >= n:
         return 0
     if any(z not in ckpt.completed for z in range(z_done + 1)):
         return 0
     for z in range(z_done + 1):
-        masks[z] = np.asarray(ckpt.load_slice(z), dtype=bool)
+        shard = np.asarray(ckpt.load_slice(z), dtype=bool)
+        if masks is not None:
+            masks[z] = shard
     engine.state = state
     return z_done + 1
 

@@ -24,6 +24,50 @@ class CodecError(FormatError):
     """A file is syntactically valid but uses an unsupported encoding."""
 
 
+class UnknownFormatError(FormatError):
+    """A byte stream matches no known format signature.
+
+    ``reason`` distinguishes an empty (zero-byte) file from content whose
+    magic bytes match nothing — the upload path reports them differently.
+    """
+
+    def __init__(self, message: str, *, reason: str = "unknown_magic") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class CorruptTileError(FormatError):
+    """One tile (slice/page) of a streamed volume failed validation.
+
+    ``kind`` classifies the damage:
+
+    * ``"torn"``       — truncated tail: the file ends before the tile's
+      declared bytes (power cut / interrupted transfer).
+    * ``"flip"``       — the tile decoded structurally but its checksum
+      disagrees with the sidecar manifest (bit rot / bad DMA).
+    * ``"unreadable"`` — the tile's metadata or encoding is malformed
+      (corrupt IFD entry, bad zlib stream, shape mismatch).
+
+    ``salvage`` optionally carries a best-effort decode (e.g. a torn tile
+    zero-filled to full shape) for the ``on_corrupt="degrade"`` policy.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "unreadable",
+        tile: int | None = None,
+        path: str | None = None,
+        salvage=None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.tile = tile
+        self.path = path
+        self.salvage = salvage
+
+
 class ModelConfigError(ReproError, ValueError):
     """A model was constructed with an inconsistent configuration."""
 

@@ -11,7 +11,7 @@ import os
 
 import numpy as np
 
-from ..errors import FormatError
+from ..errors import FormatError, UnknownFormatError
 from .png import PNG_SIGNATURE, read_png
 from .tiff import read_tiff
 
@@ -26,11 +26,19 @@ _ZIP_MAGIC = b"PK\x03\x04"
 def sniff_format(path) -> str:
     """Identify a file's format from its magic bytes.
 
-    Returns one of :data:`KNOWN_FORMATS`; raises :class:`FormatError` for
-    unrecognised content.
+    Returns one of :data:`KNOWN_FORMATS`; raises
+    :class:`~repro.errors.UnknownFormatError` for unrecognised content,
+    with ``reason="empty"`` for zero-byte files (a crashed transfer looks
+    nothing like a wrong-format upload and the API reports them apart).
     """
     with open(path, "rb") as fh:
         head = fh.read(8)
+    if not head:
+        raise UnknownFormatError(
+            f"{os.fspath(path)!r} is empty (0 bytes) — truncated upload or "
+            "interrupted transfer?",
+            reason="empty",
+        )
     if head[:4] in (b"II*\x00", b"MM\x00*"):
         return "tiff"
     if head == PNG_SIGNATURE:
@@ -39,7 +47,9 @@ def sniff_format(path) -> str:
         return "npy"
     if head.startswith(_ZIP_MAGIC):
         return "npz"
-    raise FormatError(f"unrecognised image format in {os.fspath(path)!r} (magic {head[:4]!r})")
+    raise UnknownFormatError(
+        f"unrecognised image format in {os.fspath(path)!r} (magic {head[:4]!r})"
+    )
 
 
 def load_image_file(path) -> np.ndarray:

@@ -270,11 +270,17 @@ def _read_value(data: bytes, endian: str, typ: int, count: int, raw: bytes) -> t
 
 
 def _parse_ifd(data: bytes, endian: str, offset: int) -> tuple[dict[int, tuple], int]:
-    if offset + 2 > len(data):
+    if offset < 0 or offset + 2 > len(data):
         raise FormatError("TIFF IFD offset out of bounds")
     (n,) = struct.unpack_from(endian + "H", data, offset)
-    tags: dict[int, tuple] = {}
     pos = offset + 2
+    if pos + 12 * n + 4 > len(data):
+        # The IFD table itself runs past EOF: a truncated tail.
+        raise FormatError(
+            f"TIFF IFD at offset {offset} declares {n} entries but the file "
+            f"ends at {len(data)} bytes (truncated?)"
+        )
+    tags: dict[int, tuple] = {}
     for _ in range(n):
         tag, typ, count = struct.unpack_from(endian + "HHI", data, pos)
         raw = data[pos + 8 : pos + 12]
@@ -321,9 +327,19 @@ def _decode_page(data: bytes, endian: str, tags: dict[int, tuple]) -> tuple[np.n
         chunk = data[off : off + cnt]
         if len(chunk) < cnt:
             raise FormatError("TIFF strip out of bounds")
-        blob += zlib.decompress(chunk) if info.compression == 8 else chunk
+        if info.compression == 8:
+            try:
+                chunk = zlib.decompress(chunk)
+            except zlib.error as exc:
+                raise FormatError(f"corrupt TIFF strip (zlib): {exc}") from exc
+        blob += chunk
     dtype = info.dtype.newbyteorder("<" if endian == "<" else ">")
     n_expected = info.width * info.height * info.samples_per_pixel
+    if len(blob) < n_expected * dtype.itemsize:
+        raise FormatError(
+            f"TIFF page holds {len(blob)} bytes of pixel data, "
+            f"needs {n_expected * dtype.itemsize}"
+        )
     arr = np.frombuffer(bytes(blob), dtype=dtype, count=n_expected)
     arr = arr.astype(info.dtype)  # native byte order
     if info.samples_per_pixel == 1:

@@ -384,6 +384,8 @@ class JobRunner:
         params = job.params
         if not job.input_path:
             raise JobError("segment_volume job has no input_path volume snapshot")
+        if params.get("stream"):
+            return self._run_segment_volume_stream(job, worker_id, guard, tracer)
         try:
             voxels = np.load(job.input_path, allow_pickle=False)
         except (OSError, ValueError) as exc:
@@ -509,6 +511,80 @@ class JobRunner:
             "resumed_slices": int(len(done)),
             "masks_path": str(out_path),
             "masks_key": array_content_key(masks),
+        }
+
+    def _run_segment_volume_stream(
+        self, job: JobRecord, worker_id: str, guard: JobGuard, tracer: Tracer
+    ) -> dict:
+        """Streamed Mode B: the voxels are never fully resident.
+
+        The pipeline's own streaming engine does the work — its per-slice
+        ``check_deadline`` flows through the bound :class:`JobGuard` (cancel
+        and lease-loss stop the run at a slice boundary), and its checkpoint
+        shards under ``job.checkpoint_dir`` make SIGKILL/reclaim resume
+        bit-identical.  Masks stay on disk as shards; the result names the
+        directory instead of embedding an array.
+        """
+        from hashlib import sha1
+
+        from ..errors import FormatError
+        from ..io.integrity import IngestPolicy
+        from ..io.lazy import open_lazy_volume
+
+        params = job.params
+        prompt = str(params.get("prompt", ""))
+        temporal = bool(params.get("temporal", True))
+        temporal_mode = str(params.get("temporal_mode", "meanbox"))
+        policy = IngestPolicy(
+            on_corrupt=str(params.get("on_corrupt", "fail")),
+            memory_budget_bytes=max(
+                1, int(float(params.get("memory_budget_mb", 64.0)) * 1024 * 1024)
+            ),
+        )
+        config = ZenesisConfig(temporal_mode=temporal_mode)
+        pipeline = _memo_pipeline(config)
+        plan = get_fault_plan()
+
+        def on_slice(z: int, phase: str, total: int) -> None:
+            get_registry().counter("repro_jobs_slices_total").inc()
+            self._progress(job, worker_id, z + 1, total, phase=f"stream_{phase}")
+            plan.crash_if("job_crash", slice=z)
+
+        span = tracer.begin("job.stream", source=job.input_path)
+        try:
+            with open_lazy_volume(job.input_path) as volume:
+                result = pipeline.segment_volume_stream(
+                    volume,
+                    prompt,
+                    temporal=temporal,
+                    temporal_mode=temporal_mode,
+                    checkpoint_dir=job.checkpoint_dir,
+                    resume=True,
+                    policy=policy,
+                    on_slice=on_slice,
+                )
+        except FormatError as exc:
+            raise JobError(f"cannot stream job input {job.input_path}: {exc}") from exc
+        finally:
+            tracer.finish(span)
+
+        # Content-address the mask shards without materializing the stack.
+        h = sha1()
+        for _, mask in result.iter_masks():
+            h.update(np.ascontiguousarray(mask).tobytes())
+        coverage = list(result.per_slice_coverage)
+        return {
+            "n_slices": result.n_slices,
+            "stream": True,
+            "volume_fraction": float(sum(coverage) / max(len(coverage), 1)),
+            "per_slice_coverage": coverage,
+            "degraded": {str(z): r for z, r in sorted(result.degraded.items())},
+            "refinement": dict(result.refinement_report),
+            "io_stats": {
+                k: v for k, v in result.io_stats.items() if k != "meta"
+            },
+            "masks_dir": result.checkpoint_dir,
+            "masks_key": h.hexdigest(),
         }
 
     def _run_segment_volume_propagate(

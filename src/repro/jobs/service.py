@@ -33,6 +33,14 @@ from .store import JobStore
 __all__ = ["JobService"]
 
 
+def _remove_input(path: Path) -> None:
+    """Delete an input snapshot: a file, or a slice-directory copy."""
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        path.unlink(missing_ok=True)
+
+
 class JobService:
     """One jobs directory, fully wired: persistence, scheduling, execution."""
 
@@ -129,6 +137,72 @@ class JobService:
             input_path=str(snap),
         )
 
+    def submit_segment_volume_path(
+        self,
+        path: Path | str,
+        prompt: str,
+        *,
+        temporal: bool = True,
+        temporal_mode: str = "meanbox",
+        on_corrupt: str = "fail",
+        memory_budget_mb: float = 64.0,
+        deadline_s: float | None = None,
+        priority: int = 0,
+        max_attempts: int | None = None,
+        session_id: str | None = None,
+    ) -> JobRecord:
+        """Queue a *streaming* Mode B job over an on-disk volume.
+
+        The volume is snapshotted by copying the source file (or slice
+        directory) — plus its checksum sidecar, when present — into
+        ``jobs/inputs/``; the runner opens it as a
+        :class:`~repro.io.LazyVolume` and streams it through checkpointed
+        decode rounds, so the voxels are never fully resident.  This is the
+        upload-by-path route for volumes too large to post through the API.
+        """
+        from ..io.integrity import sidecar_path
+        from ..io.lazy import open_lazy_volume
+
+        src = Path(path)
+        if not src.exists():
+            raise JobError(f"no such volume source: {os.fspath(src)!r}")
+        if temporal_mode not in ("meanbox", "propagate"):
+            raise JobError(f"unknown temporal_mode {temporal_mode!r}")
+        if on_corrupt not in ("fail", "skip", "degrade"):
+            raise JobError(f"unknown on_corrupt policy {on_corrupt!r}")
+        # Validate the source opens *before* the copy — a structured error
+        # at submit beats a failed job an hour later.
+        with open_lazy_volume(src):
+            pass
+        stem = f"vol-{os.urandom(6).hex()}"
+        if src.is_dir():
+            snap = self.store.input_path(stem, suffix="")
+            shutil.copytree(src, snap)
+        else:
+            snap = self.store.input_path(stem, suffix=src.suffix)
+            shutil.copyfile(src, snap)
+            side = sidecar_path(src)
+            if side.is_file():
+                shutil.copyfile(side, sidecar_path(snap))
+        params = {
+            "prompt": str(prompt),
+            "temporal": bool(temporal),
+            "temporal_mode": str(temporal_mode),
+            "stream": True,
+            "on_corrupt": str(on_corrupt),
+            "memory_budget_mb": float(memory_budget_mb),
+        }
+        if deadline_s is not None:
+            params["deadline_s"] = float(deadline_s)
+        return self.submit(
+            "segment_volume",
+            params,
+            priority=priority,
+            max_attempts=max_attempts,
+            session_id=session_id,
+            input_path=str(snap),
+        )
+
     # -- client verbs ----------------------------------------------------------
 
     def status(self, job_id: str) -> dict:
@@ -211,7 +285,7 @@ class JobService:
                 continue  # swept by a peer mid-scan
             if age_s < max_age_s:
                 continue
-            path.unlink(missing_ok=True)
+            _remove_input(path)
             orphans += 1
         self.store.compact()
         if removed or orphans:
@@ -220,7 +294,7 @@ class JobService:
 
     def _delete_artifacts(self, rec: JobRecord) -> None:
         if rec.input_path:
-            Path(rec.input_path).unlink(missing_ok=True)
+            _remove_input(Path(rec.input_path))
         self.store.result_path(rec.job_id).unlink(missing_ok=True)
         if rec.checkpoint_dir:
             shutil.rmtree(rec.checkpoint_dir, ignore_errors=True)

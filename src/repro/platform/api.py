@@ -171,8 +171,14 @@ class ApiHandler:
         return {"dropped": True}
 
     def _load_file(self, request: dict) -> dict:
+        """Load from a server-visible path; ``stream: true`` attaches the
+        volume lazily (upload-by-path for data too large to post inline)."""
         session = self._session(request)
-        preview = session.load_file(str(request["path"]), modality=request.get("modality", "unknown"))
+        preview = session.load_file(
+            str(request["path"]),
+            modality=request.get("modality", "unknown"),
+            stream=bool(request.get("stream", False)),
+        )
         return {"preview": preview}
 
     def _load_array(self, request: dict) -> dict:
@@ -253,6 +259,15 @@ class ApiHandler:
             and self.auto_job_slices is not None
             and n_slices >= self.auto_job_slices
         )
+        if session.lazy_volume is not None:
+            # A streamed volume never runs synchronously — materializing it
+            # is exactly what stream=True promised not to do.
+            if mode == "sync":
+                raise ValidationError(
+                    "mode='sync' is invalid for a volume loaded with "
+                    "stream=True; drop 'mode' to run it as a streaming job"
+                )
+            go_async = True
         if go_async:
             return self._submit_volume_job(session, request, redirected=mode is None)
         temporal_mode = request.get("temporal_mode")
@@ -285,18 +300,33 @@ class ApiHandler:
     def _submit_volume_job(self, session: Session, request: dict, *, redirected: bool) -> dict:
         """Turn a segment_volume request into a durable background job."""
         jobs = self._require_jobs()
-        if session.volume is None:
+        if session.lazy_volume is not None:
+            if session.lazy_volume.source_path is None:
+                raise JobError("streaming jobs need an on-disk source volume")
+            job = jobs.submit_segment_volume_path(
+                session.lazy_volume.source_path,
+                str(request["prompt"]),
+                temporal=bool(request.get("temporal", True)),
+                temporal_mode=str(request.get("temporal_mode", "meanbox")),
+                on_corrupt=str(request.get("on_corrupt", "fail")),
+                memory_budget_mb=float(request.get("memory_budget_mb", 64.0)),
+                deadline_s=request.get("job_deadline_s"),
+                priority=int(request.get("priority", 0)),
+                session_id=session.session_id,
+            )
+        elif session.volume is None:
             raise JobError("segment_volume jobs require a loaded volume")
-        job = jobs.submit_segment_volume(
-            session.volume.voxels,
-            str(request["prompt"]),
-            temporal=bool(request.get("temporal", True)),
-            temporal_mode=str(request.get("temporal_mode", "meanbox")),
-            n_workers=int(request.get("n_workers", 1)),
-            deadline_s=request.get("job_deadline_s"),
-            priority=int(request.get("priority", 0)),
-            session_id=session.session_id,
-        )
+        else:
+            job = jobs.submit_segment_volume(
+                session.volume.voxels,
+                str(request["prompt"]),
+                temporal=bool(request.get("temporal", True)),
+                temporal_mode=str(request.get("temporal_mode", "meanbox")),
+                n_workers=int(request.get("n_workers", 1)),
+                deadline_s=request.get("job_deadline_s"),
+                priority=int(request.get("priority", 0)),
+                session_id=session.session_id,
+            )
         session.job_ids.append(job.job_id)
         session.history.append({"action": "job_submit", "job_id": job.job_id, "kind": job.kind})
         return {"accepted": True, "job_id": job.job_id, "job": job.public_view(), "redirected": redirected}

@@ -50,6 +50,7 @@ from ..errors import (
     UnknownSessionError,
 )
 from ..io.formats import load_image_file
+from ..io.lazy import LazyVolume, open_lazy_volume
 from ..models.dino import Detection
 from ..observability.metrics import get_registry
 from ..resilience.events import record_event
@@ -74,6 +75,10 @@ class Session:
     pipeline: ZenesisPipeline
     image: ScientificImage | None = None
     volume: ScientificVolume | None = None
+    #: Streamed (out-of-core) volume attached via ``load_file(stream=True)``.
+    #: Holds shape/dtype/metadata and per-tile readers only — the voxels are
+    #: never fully resident; Mode B on it runs as a streaming background job.
+    lazy_volume: LazyVolume | None = None
     active_slice: int = 0
     last_result: SliceResult | None = None
     last_volume_result: VolumeResult | None = None
@@ -115,15 +120,50 @@ class Session:
         else:
             raise SessionError(f"cannot interpret array of shape {arr.shape}")
         check_deadline("load_array (pre-commit)")
+        self._close_lazy()
         self.image, self.volume = new_image, new_volume
         self.active_slice = 0
         self._reset_interactions()
         self.history.append({"action": "load", "shape": list(arr.shape)})
         return self.preview()
 
-    def load_file(self, path: str, *, modality: str = "unknown") -> dict:
-        """Load from disk (TIFF/PNG/npy/npz, sniffed by magic bytes)."""
+    def load_file(self, path: str, *, modality: str = "unknown", stream: bool = False) -> dict:
+        """Load from disk (TIFF/PNG/npy/npz, sniffed by magic bytes).
+
+        With ``stream=True`` the file (or slice directory) is attached as a
+        :class:`~repro.io.LazyVolume` instead of being read into memory:
+        only the header is parsed, per-slice tiles load on demand, and Mode B
+        runs as a streaming background job.  The structured errors of
+        :func:`~repro.io.open_lazy_volume` (empty file, unknown format,
+        truncated header) surface here, at upload time.
+        """
+        if stream:
+            return self.load_lazy(path, modality=modality)
         return self.load_array(load_image_file(path), modality=modality)
+
+    def load_lazy(self, path: str, *, modality: str = "unknown") -> dict:
+        """Attach an on-disk volume for out-of-core streaming (no full read)."""
+        volume = open_lazy_volume(path)
+        check_deadline("load_file stream (pre-commit)")
+        self._close_lazy()
+        self.image, self.volume = None, None
+        self.lazy_volume = volume
+        self.modality = str(modality)
+        self.active_slice = 0
+        self._reset_interactions()
+        self.history.append(
+            {"action": "load_stream", "shape": list(volume.shape), "source": volume.source_path}
+        )
+        return self.preview()
+
+    def _close_lazy(self) -> None:
+        if self.lazy_volume is not None:
+            self.lazy_volume.close()
+            self.lazy_volume = None
+
+    def close(self) -> None:
+        """Release held resources (open file maps); idempotent."""
+        self._close_lazy()
 
     def _reset_interactions(self) -> None:
         self.last_result = None
@@ -140,12 +180,21 @@ class Session:
             return self.image
         if self.volume is not None:
             return self.volume.slice_image(self.active_slice)
+        if self.lazy_volume is not None:
+            # One tile read — interactive Mode A on a streamed volume stays
+            # O(slice), never materializing the stack.
+            tile = self.lazy_volume.read_tile(self.active_slice)
+            return ScientificImage(pixels=tile, modality=getattr(self, "modality", "unknown"))
         raise SessionError("no data loaded; call load first")
 
     def preview(self) -> dict:
         """Data summary + readiness scores (the UI's preview card)."""
-        if self.volume is not None:
-            desc: dict[str, Any] = self.volume.describe()
+        if self.lazy_volume is not None:
+            desc: dict[str, Any] = self.lazy_volume.describe()
+            desc["kind"] = "lazy_volume"
+            desc["active_slice"] = self.active_slice
+        elif self.volume is not None:
+            desc = self.volume.describe()
             desc["kind"] = "volume"
             desc["active_slice"] = self.active_slice
         elif self.image is not None:
@@ -157,10 +206,14 @@ class Session:
         return desc
 
     def select_slice(self, index: int) -> dict:
-        if self.volume is None:
+        if self.lazy_volume is not None:
+            n_slices = self.lazy_volume.n_tiles
+        elif self.volume is not None:
+            n_slices = self.volume.n_slices
+        else:
             raise SessionError("select_slice requires a loaded volume")
-        if not 0 <= index < self.volume.n_slices:
-            raise SessionError(f"slice {index} out of range [0, {self.volume.n_slices})")
+        if not 0 <= index < n_slices:
+            raise SessionError(f"slice {index} out of range [0, {n_slices})")
         self.active_slice = int(index)
         return self.preview()
 
@@ -365,6 +418,12 @@ class Session:
         self, prompt: str, *, temporal: bool = True, temporal_mode: str | None = None
     ) -> VolumeResult:
         if self.volume is None:
+            if self.lazy_volume is not None:
+                raise SessionError(
+                    "this volume was loaded with stream=True; synchronous "
+                    "segment_volume would materialize it — use the streaming "
+                    "job route (segment_volume via the API with jobs enabled)"
+                )
             raise SessionError("segment_volume requires a loaded volume")
         result = self.pipeline.segment_volume(
             self.volume, prompt, temporal=temporal, temporal_mode=temporal_mode
@@ -418,7 +477,9 @@ class SessionStore:
 
     # -- eviction ---------------------------------------------------------
 
-    def _remember_eviction(self, sid: str, reason: str) -> None:
+    def _remember_eviction(self, sid: str, reason: str, session: "Session | None" = None) -> None:
+        if session is not None:
+            session.close()
         self._evicted[sid] = reason
         while len(self._evicted) > _EVICTED_MEMORY:
             self._evicted.popitem(last=False)
@@ -439,7 +500,7 @@ class SessionStore:
             if now - session.last_used < self.ttl_s:
                 break
             del self._sessions[sid]
-            self._remember_eviction(sid, "ttl")
+            self._remember_eviction(sid, "ttl", session)
 
     def _publish_gauge(self) -> None:
         get_registry().gauge("repro_server_sessions").set(len(self._sessions))
@@ -474,8 +535,8 @@ class SessionStore:
                 self._sessions.move_to_end(sid)
                 return existing
             while len(self._sessions) >= self.max_sessions:
-                evicted_sid, _ = self._sessions.popitem(last=False)
-                self._remember_eviction(evicted_sid, "capacity")
+                evicted_sid, evicted = self._sessions.popitem(last=False)
+                self._remember_eviction(evicted_sid, "capacity", evicted)
             session.last_used = self._clock()
             self._sessions[sid] = session
             self._publish_gauge()
@@ -497,7 +558,9 @@ class SessionStore:
 
     def drop(self, session_id: str) -> None:
         with self._lock:
-            self._sessions.pop(session_id, None)
+            session = self._sessions.pop(session_id, None)
+            if session is not None:
+                session.close()
             self._publish_gauge()
 
     def __len__(self) -> int:

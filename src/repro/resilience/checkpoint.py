@@ -103,7 +103,30 @@ class CheckpointManager:
                 record_event("checkpoint.dropped_shards")
         self.completed = completed
         self.complete = bool(manifest.get("complete", False))
+        # Keep what the previous run recorded (degraded-slice markers and
+        # the like) unless this run explicitly overrides a key.
+        prior_meta = manifest.get("meta")
+        if isinstance(prior_meta, dict):
+            self.meta = {**prior_meta, **self.meta}
         return set(completed)
+
+    def mark_degraded(self, z: int, reason: str) -> None:
+        """Record slice ``z`` as degraded (corrupt tile substituted).
+
+        Lives in the manifest's ``meta`` so the run manifest — and any
+        resumed run — tells the truth about which masks came from damaged
+        data.  The caller still saves a shard for the slice; degraded is an
+        annotation, not an absence.
+        """
+        degraded = self.meta.setdefault("degraded", {})
+        degraded[str(int(z))] = str(reason)
+        record_event("checkpoint.degraded_slices")
+
+    @property
+    def degraded(self) -> dict[int, str]:
+        """Degraded-slice markers recorded so far, keyed by slice index."""
+        raw = self.meta.get("degraded", {})
+        return {int(k): str(v) for k, v in raw.items()} if isinstance(raw, dict) else {}
 
     def save_slice(self, z: int, mask: np.ndarray) -> None:
         """Persist one completed slice mask, then the updated manifest."""

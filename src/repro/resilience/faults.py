@@ -44,6 +44,17 @@ Supported kinds (hook sites in parentheses):
                      out (``replica=N``) without touching the replica —
                      exercising the structured-504 path and the
                      never-retry-a-timeout rule.
+``io_transient``     raise ``OSError`` from one lazy-volume tile fetch
+                     (``slice=N``) — an NFS hiccup; exercises the bounded
+                     retry-with-backoff in :class:`repro.io.TileStream`.
+``io_torn``          make one tile fetch fail as a truncated tail
+                     (``slice=N``): a ``CorruptTileError(kind="torn")``
+                     carrying a zero-filled salvage, exercising the
+                     ``on_corrupt`` skip/degrade policies and quarantine.
+``io_flip``          flip one bit in a decoded tile (``slice=N``) without
+                     touching disk — detected as ``kind="flip"`` when a
+                     checksum sidecar is active, silent otherwise (which
+                     is exactly why sidecars exist).
 
 Conditions: ``slice=N`` / ``worker=N`` match the hook's context, ``p=F``
 fires probabilistically (deterministic per-rule RNG stream), ``times=N``
@@ -205,3 +216,13 @@ def get_fault_plan() -> FaultPlan:
     plan = FaultPlan.parse(spec)
     _plan_cache = (spec, plan)
     return plan
+
+
+def reset_fault_plan() -> None:
+    """Drop the cached plan so the next lookup re-parses (and re-arms) it.
+
+    Needed by tests that set ``$REPRO_FAULTS`` to the *same* spec twice:
+    the spec-keyed cache would otherwise carry fire counts across tests.
+    """
+    global _plan_cache
+    _plan_cache = None

@@ -17,6 +17,7 @@ from repro.data import make_benchmark_dataset, make_sample
 from repro.data.synthesis.phantoms import disk_phantom, needles_phantom, two_phase_phantom
 from repro.observability import reset_registry, reset_tracing
 from repro.resilience import reset_events
+from repro.resilience.faults import reset_fault_plan
 
 
 def pytest_addoption(parser):
@@ -48,6 +49,7 @@ def _fresh_inference_cache():
     reset_events()
     reset_registry()
     reset_tracing()
+    reset_fault_plan()
     yield
 
 

@@ -67,3 +67,25 @@ class TestLoad:
         np.savez(p, a=np.zeros(2), b=np.zeros(2))
         with pytest.raises(FormatError, match="exactly one"):
             load_image_file(p)
+
+
+class TestStructuredUnknowns:
+    def test_empty_file_reports_empty_reason(self, tmp_path):
+        from repro.errors import UnknownFormatError
+
+        p = tmp_path / "empty.tif"
+        p.write_bytes(b"")
+        with pytest.raises(UnknownFormatError) as exc:
+            sniff_format(p)
+        assert exc.value.reason == "empty"
+        with pytest.raises(UnknownFormatError):
+            load_image_file(p)
+
+    def test_unknown_magic_reason(self, tmp_path):
+        from repro.errors import UnknownFormatError
+
+        p = tmp_path / "x.bin"
+        p.write_bytes(b"\x00\x01\x02\x03 not a known format")
+        with pytest.raises(UnknownFormatError) as exc:
+            sniff_format(p)
+        assert exc.value.reason == "unknown_magic"

@@ -96,3 +96,168 @@ class TestValidation:
         assert len(pages) == 3
         for z, (arr, _) in enumerate(pages):
             assert np.array_equal(arr, vol[z])
+
+
+# -- damaged and hand-crafted files -------------------------------------------
+
+
+import struct
+
+from repro.errors import CorruptTileError, UnknownFormatError
+from repro.io.lazy import TiffLazyVolume
+
+
+def _mk_tiff(pages, endian="<"):
+    """Hand-build a minimal uncompressed grayscale TIFF (full tag control)."""
+    e = endian
+    bom = b"II" if e == "<" else b"MM"
+    blob = bytearray(bom + struct.pack(e + "H", 42) + b"\x00\x00\x00\x00")
+    strip_offsets = []
+    for arr in pages:
+        strip_offsets.append(len(blob))
+        blob += arr.astype(arr.dtype.newbyteorder(e)).tobytes()
+    ifd_offsets = []
+    for i, arr in enumerate(pages):
+        if len(blob) % 2:
+            blob += b"\x00"
+        ifd_offsets.append(len(blob))
+        h, w = arr.shape
+        bits = arr.dtype.itemsize * 8
+        entries = [
+            (256, 3, 1, w),
+            (257, 3, 1, h),
+            (258, 3, 1, bits),
+            (259, 3, 1, 1),  # uncompressed
+            (273, 4, 1, strip_offsets[i]),
+            (277, 3, 1, 1),
+            (279, 4, 1, arr.nbytes),
+        ]
+        blob += struct.pack(e + "H", len(entries))
+        for tag, typ, count, value in entries:
+            blob += struct.pack(e + "HHI", tag, typ, count)
+            if typ == 3:
+                blob += struct.pack(e + "HH", value, 0)
+            else:
+                blob += struct.pack(e + "I", value)
+        blob += b"\x00\x00\x00\x00"  # next-IFD placeholder
+    for i, off in enumerate(ifd_offsets):
+        nxt = ifd_offsets[i + 1] if i + 1 < len(ifd_offsets) else 0
+        n_entries = struct.unpack_from(e + "H", blob, off)[0]
+        struct.pack_into(e + "I", blob, off + 2 + 12 * n_entries, nxt)
+    struct.pack_into(e + "I", blob, 4, ifd_offsets[0])
+    return bytes(blob)
+
+
+class TestDamagedFiles:
+    def test_truncated_ifd_declares_entries_past_eof(self, tmp_path):
+        path = tmp_path / "t.tif"
+        path.write_bytes(b"II*\x00" + struct.pack("<I", 8) + struct.pack("<H", 5000))
+        with pytest.raises(FormatError, match="truncated|ends"):
+            read_tiff(path)
+
+    def test_zero_page_file(self, tmp_path):
+        path = tmp_path / "z.tif"
+        path.write_bytes(b"II*\x00" + struct.pack("<I", 0))
+        with pytest.raises(FormatError, match="no pages"):
+            read_tiff(path)
+        with pytest.raises(FormatError, match="no pages"):
+            TiffLazyVolume(path)
+
+    def test_ragged_pages_rejected(self, rng, tmp_path):
+        pages = [
+            rng.integers(0, 255, (8, 8)).astype(np.uint8),
+            rng.integers(0, 255, (6, 10)).astype(np.uint8),
+        ]
+        path = tmp_path / "r.tif"
+        path.write_bytes(_mk_tiff(pages))
+        with pytest.raises(FormatError, match="heterogeneous"):
+            read_tiff(path)
+        with pytest.raises(FormatError):
+            TiffLazyVolume(path)
+
+    def test_big_endian_16bit_round_trip(self, rng, tmp_path):
+        vol = rng.integers(0, 65535, (3, 9, 7)).astype(np.uint16)
+        path = tmp_path / "be.tif"
+        path.write_bytes(_mk_tiff(list(vol), endian=">"))
+        back = read_tiff(path)
+        assert back.dtype == np.uint16
+        assert np.array_equal(back, vol)
+        with TiffLazyVolume(path) as lazy:
+            assert lazy.meta["endian"] == "big"
+            for z in range(3):
+                tile = lazy.read_tile(z)
+                assert tile.dtype.byteorder in ("=", "|")
+                assert np.array_equal(tile, vol[z])
+
+    def test_truncated_tail_salvages_page_prefix(self, rng, tmp_path):
+        vol = rng.integers(0, 255, (4, 12, 12)).astype(np.uint8)
+        full = tmp_path / "full.tif"
+        write_tiff(full, vol)
+        data = full.read_bytes()
+        torn = tmp_path / "torn.tif"
+        torn.write_bytes(data[: len(data) * 2 // 3])
+        with TiffLazyVolume(torn) as lazy:
+            assert lazy.meta["truncated_tail"] is True
+            assert 1 <= lazy.n_tiles < 4
+            assert np.array_equal(lazy.read_tile(0), vol[0])
+
+
+class TestBitFlipFuzz:
+    """Fuzz-lite battery: single-byte flips anywhere in the file must come
+    out as a structured error (or a successful decode) — never an uncaught
+    exception — and the lazy front end must classify them."""
+
+    def _flips(self, size, n=48):
+        rng = np.random.default_rng(1234)
+        return sorted(set(int(i) for i in rng.integers(0, size, n)))
+
+    def test_eager_reader_never_raises_uncaught(self, rng, tmp_path):
+        vol = rng.integers(0, 255, (3, 16, 16)).astype(np.uint8)
+        path = tmp_path / "f.tif"
+        write_tiff(path, vol, compress=True)
+        data = bytearray(path.read_bytes())
+        outcomes = {"ok": 0, "format_error": 0}
+        for off in self._flips(len(data)):
+            flipped = bytearray(data)
+            flipped[off] ^= 0x20
+            path.write_bytes(bytes(flipped))
+            try:
+                read_tiff(path)
+                outcomes["ok"] += 1
+            except FormatError:
+                outcomes["format_error"] += 1
+        assert sum(outcomes.values()) == len(self._flips(len(data)))
+        assert outcomes["format_error"] > 0  # some flips must land in structure
+
+    def test_lazy_front_end_classifies_flips(self, rng, tmp_path):
+        from repro.io import write_sidecar
+
+        vol = rng.integers(0, 255, (3, 16, 16)).astype(np.uint8)
+        path = tmp_path / "f.tif"
+        write_tiff(path, vol, compress=True)
+        with TiffLazyVolume(path) as lazy:
+            write_sidecar(lazy)
+        data = bytearray(path.read_bytes())
+        kinds = set()
+        for off in self._flips(len(data)):
+            flipped = bytearray(data)
+            flipped[off] ^= 0x20
+            path.write_bytes(bytes(flipped))
+            try:
+                lazy = TiffLazyVolume(path)
+            except (FormatError, UnknownFormatError):
+                kinds.add("open_rejected")
+                continue
+            with lazy:
+                from repro.io import verify_volume
+
+                report = verify_volume(lazy)
+                for t in report["tiles"]:
+                    assert t["status"] in ("torn", "flip", "unreadable")
+                    kinds.add(t["status"])
+                if report["ok"]:
+                    kinds.add("ok")
+        # The battery must exercise several classifications, and a sidecar
+        # means a strip-data flip is *detected*, not silently decoded.
+        assert "flip" in kinds or "unreadable" in kinds
+        assert "open_rejected" in kinds or "torn" in kinds

@@ -61,3 +61,40 @@ class TestTiffExport:
         # 10 nm/px -> 1e6 px/cm along x.
         assert info.resolution[0] == pytest.approx(1e6, rel=1e-3)
         assert info.resolution[1] == pytest.approx(5e5, rel=1e-3)
+
+
+class TestQuarantine:
+    def test_corrupt_bundle_quarantined_with_structured_error(self, rng, tmp_path):
+        vol = rng.integers(0, 255, (2, 6, 6)).astype(np.uint8)
+        p = tmp_path / "b.npz"
+        save_volume_bundle(p, vol)
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 2])  # torn mid-archive
+        with pytest.raises(FormatError, match="quarantined"):
+            load_volume_bundle(p)
+        assert not p.exists()
+        bad = tmp_path / ".bad"
+        assert any(f.name.startswith("b.npz") for f in bad.iterdir())
+        reasons = list(bad.glob("*.reason"))
+        assert reasons and reasons[0].read_text()
+
+    def test_corrupt_tiff_import_quarantined(self, rng, tmp_path):
+        vol = rng.integers(0, 255, (2, 6, 6)).astype(np.uint8)
+        p = tmp_path / "v.tif"
+        export_volume_tiff(p, vol)
+        data = bytearray(p.read_bytes())
+        struct_off = len(data) - 10  # clobber the IFD tail
+        data[struct_off:] = b"\xff" * 10
+        p.write_bytes(bytes(data[: len(data) * 2 // 3]))
+        with pytest.raises(FormatError):
+            import_volume_tiff(p)
+        # It really was a TIFF (magic intact) -> moved aside for forensics.
+        assert not p.exists()
+        assert (tmp_path / ".bad").exists()
+
+    def test_wrong_format_upload_not_quarantined(self, tmp_path):
+        p = tmp_path / "notatiff.tif"
+        p.write_bytes(b"PK\x03\x04 this is a zip, not a tiff")
+        with pytest.raises(FormatError):
+            import_volume_tiff(p)
+        assert p.exists()  # merely mis-labelled uploads stay put
