@@ -1,0 +1,87 @@
+"""Gate zoo batch-orchestration overhead against the committed BENCH_zoo.json.
+
+Usage::
+
+    python benchmarks/check_zoo_regression.py BASELINE CURRENT [--max-drop 0.3]
+
+Compares the ``ratios`` section — batch throughput over the plain serial
+loop, and ensemble cost over K independent BEST runs, both *measured in
+the same run* — for every key present in both files, and exits non-zero
+when any ratio drops by more than ``--max-drop`` (default 30%) relative to
+the committed baseline ratio.
+
+Same-run ratios are the only numbers comparable across machines: the
+committed baseline is measured on a dev box while CI runs on shared
+runners, so absolute files/s would fail spuriously.  Dividing by the same
+run's serial wall time cancels the hardware term; what is left is the
+orchestration layer's overhead, which is what this gate protects.
+
+A *known and accepted* regression is merged by applying the
+``perf-regression-ok`` label to the PR, which skips this check — then
+refresh the committed baseline in the same PR::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/test_zoo_bench.py
+    cp benchmarks/_artifacts/BENCH_zoo.json BENCH_zoo.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(baseline: dict, current: dict, max_drop: float) -> list[str]:
+    """Return failure lines; empty means the check passes."""
+    failures = []
+    base_ratios = baseline.get("ratios", {})
+    cur_ratios = current.get("ratios", {})
+    for name in sorted(base_ratios):
+        if name not in cur_ratios:
+            print(f"  {name:<30} not in current run — skipped")
+            continue
+        base, cur = base_ratios[name], cur_ratios[name]
+        rel = cur / base if base else float("inf")
+        status = "ok" if rel >= 1.0 - max_drop else "REGRESSED"
+        print(f"  {name:<30} baseline {base:>6.3f}x  current {cur:>6.3f}x  ({rel:.2f}) {status}")
+        if rel < 1.0 - max_drop:
+            failures.append(
+                f"{name}: ratio {cur:.3f}x is {(1.0 - rel) * 100:.1f}% below baseline "
+                f"{base:.3f}x (allowed drop {max_drop * 100:.0f}%)"
+            )
+    for name in sorted(set(cur_ratios) - set(base_ratios)):
+        print(f"  {name:<30} new ratio key (no baseline) — informational only")
+    for label, report in (("baseline", baseline), ("current", current)):
+        for name, wall in sorted(report.get("wall_s", {}).items()):
+            print(f"    [{label}] {name:<16} {wall:>8.3f}s (informational)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_zoo.json")
+    parser.add_argument("current", type=Path, help="freshly measured BENCH_zoo.json")
+    parser.add_argument("--max-drop", type=float, default=0.3, help="allowed fractional drop")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    print(f"zoo batch ratios vs {args.baseline} (max drop {args.max_drop * 100:.0f}%):")
+    failures = compare(baseline, current, args.max_drop)
+    if failures:
+        print("\nFAIL: zoo batch-orchestration regression", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        print(
+            "\nIf this trade-off is intentional, apply the 'perf-regression-ok' label "
+            "and refresh the committed BENCH_zoo.json (see module docstring).",
+            file=sys.stderr,
+        )
+        return 1
+    print("zoo batch ratios OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""Batch-orchestration overhead benchmark → ``BENCH_zoo.json``.
+
+Measures folder-scale throughput for the zoo batch path against a plain
+serial loop *measured in the same run*:
+
+* ``serial_best``   — per-file ``ZenesisPipeline.segment_volume`` with the
+  preset config, no jobs layer (the pre-zoo behaviour; same-run reference).
+* ``batch_best``    — ``run_batch`` BEST mode: durable jobs, input
+  snapshots, journaling, manifest + report.
+* ``batch_ensemble``— ``run_batch`` ENSEMBLE mode with K members per file.
+
+Each stage runs over its own freshly synthesized volumes (distinct seeds)
+so the content-addressed inference cache cannot leak wins across stages;
+within the ensemble stage members *do* share the adaptation cache, which is
+exactly the effect ``ensemble_member_efficiency`` reports.
+
+Acceptance (asserted here, gated in CI against the committed
+``BENCH_zoo.json`` by ``benchmarks/check_zoo_regression.py``):
+
+* ``batch_vs_serial`` ≥ 0.2 — the durability tax (snapshot + journal +
+  report) stays a bounded fraction of the segmentation work.
+* ``ensemble_member_efficiency`` ≥ 0.5 — K fused members cost less than
+  2·K independent BEST runs (shared adaptation, memoized pipelines).
+
+``REPRO_BENCH_QUICK=1`` shrinks volumes and the member count; ratios are
+same-run, so they stay comparable with the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import make_sample
+from repro.io.volume_io import export_volume_tiff
+from repro.jobs import JobService
+from repro.zoo import load_registry, run_batch
+
+from .conftest import ARTIFACT_DIR
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+N_FILES = 2 if QUICK else 3
+SIDE = 64 if QUICK else 96
+N_SLICES = 2 if QUICK else 3
+ENSEMBLE_K = 2 if QUICK else 3
+PRESET = "crystalline_catalyst"
+BENCH_PATH = ARTIFACT_DIR / "BENCH_zoo.json"
+
+
+def _make_dir(root: Path, seed0: int) -> Path:
+    root.mkdir(parents=True)
+    for i in range(N_FILES):
+        sample = make_sample(
+            "crystalline", seed=seed0 + i, shape=(SIDE, SIDE), n_slices=N_SLICES
+        )
+        export_volume_tiff(root / f"vol{i}.tiff", sample.volume.voxels, voxel_size_nm=(5.0, 5.0))
+    return root
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_zoo_bench(tmp_path):
+    from repro.core.pipeline import ZenesisPipeline
+    from repro.io.formats import load_image_file
+
+    preset = load_registry().get(PRESET)
+    serial_dir = _make_dir(tmp_path / "serial", seed0=0)
+    best_dir = _make_dir(tmp_path / "best", seed0=100)
+    ens_dir = _make_dir(tmp_path / "ensemble", seed0=200)
+
+    def serial():
+        pipeline = ZenesisPipeline(preset.build_config())
+        for path in sorted(serial_dir.iterdir()):
+            pipeline.segment_volume(load_image_file(path), preset.prompt)
+
+    reports = {}
+
+    def batch(root, mode, key, **kwargs):
+        def run():
+            svc = JobService(tmp_path / f"jobs-{key}")
+            reports[key] = run_batch(svc, root, PRESET, mode=mode, timeout_s=1200.0, **kwargs)
+        return run
+
+    results = {
+        "serial_best": _timed(serial),
+        "batch_best": _timed(batch(best_dir, "best", "batch_best")),
+        "batch_ensemble": _timed(
+            batch(ens_dir, "ensemble", "batch_ensemble", ensemble={"size": ENSEMBLE_K})
+        ),
+    }
+    assert reports["batch_best"]["ok"], reports["batch_best"]["by_state"]
+    assert reports["batch_ensemble"]["ok"], reports["batch_ensemble"]["by_state"]
+
+    files_per_s = {k: round(N_FILES / s, 3) for k, s in results.items()}
+    ratios = {
+        "batch_vs_serial": round(results["serial_best"] / results["batch_best"], 3),
+        "ensemble_member_efficiency": round(
+            results["batch_best"] * ENSEMBLE_K / results["batch_ensemble"], 3
+        ),
+    }
+    report = {
+        "schema": 1,
+        "quick": QUICK,
+        "config": {
+            "n_files": N_FILES,
+            "side": SIDE,
+            "n_slices": N_SLICES,
+            "ensemble_k": ENSEMBLE_K,
+            "preset": PRESET,
+        },
+        "wall_s": {k: round(v, 3) for k, v in results.items()},
+        "files_per_s": files_per_s,
+        "ratios": ratios,
+        "batch_percentiles": reports["batch_best"]["percentiles"],
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"\nBENCH_zoo.json → {BENCH_PATH}")
+    for name, wall in report["wall_s"].items():
+        print(f"  {name:<16} {wall:>8.3f}s  ({files_per_s[name]:.3f} files/s)")
+    for name, r in ratios.items():
+        print(f"  {name:<28} {r:>6.3f}x")
+
+    # The durability tax stays a bounded fraction of the segmentation work.
+    assert ratios["batch_vs_serial"] >= 0.2, report["ratios"]
+    # K fused members cost less than 2*K independent BEST runs.
+    assert ratios["ensemble_member_efficiency"] >= 0.5, report["ratios"]

@@ -108,10 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="streaming prefetch budget (bounds resident tile bytes)",
     )
 
-    p = sub.add_parser("batch", help="Mode B batch segmentation of a volume")
+    p = sub.add_parser(
+        "batch",
+        help="Mode B batch segmentation: a volume file + prompt, or a whole "
+        "directory of volumes fanned out as durable zoo jobs (--task)",
+    )
     _add_precision_flag(p)
     p.add_argument("path", type=Path)
-    p.add_argument("prompt")
+    p.add_argument("prompt", nargs="?", default=None, help="text prompt (file mode only)")
     p.add_argument("--out", type=Path, default=None)
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--no-temporal", action="store_true")
@@ -121,6 +125,82 @@ def build_parser() -> argparse.ArgumentParser:
         default="meanbox",
         help="propagate runs the sequential memory engine (single-worker path)",
     )
+    p.add_argument(
+        "--task",
+        default=None,
+        metavar="PRESET",
+        help="zoo preset for directory batches (see `repro zoo list`); "
+        "required when PATH is a directory",
+    )
+    p.add_argument(
+        "--mode",
+        choices=["best", "ensemble"],
+        default="best",
+        help="BEST runs the preset config once per volume; ENSEMBLE runs the "
+        "variant grid and fuses masks by IoU-weighted voting",
+    )
+    p.add_argument(
+        "--jobs-dir",
+        type=Path,
+        default=None,
+        help="jobs directory for directory batches (default: <dir>/.repro-jobs)",
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream volumes out-of-core (BEST mode only)",
+    )
+    p.add_argument("--on-corrupt", choices=["fail", "skip", "degrade"], default="fail")
+    p.add_argument("--memory-budget-mb", type=float, default=64.0, metavar="MB")
+    p.add_argument(
+        "--ensemble-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="ensemble members per volume (default 4)",
+    )
+    p.add_argument("--priority", type=int, default=0, help="job priority (higher runs first)")
+    p.add_argument(
+        "--job-lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="lease TTL for batch jobs: after a crash, a rerun adopts the dead "
+        "process's jobs once their lease is this stale",
+    )
+    p.add_argument(
+        "--submit-only",
+        action="store_true",
+        help="submit the batch jobs and print the manifest without draining them "
+        "(a co-located server or a later rerun executes the queue)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="directory-batch drain budget",
+    )
+
+    p = sub.add_parser("zoo", help="model/config registry (task presets)")
+    zsub = p.add_subparsers(dest="zoo_command", required=True)
+    zp = zsub.add_parser("list", help="print the registry (builtins + zoo.json overlay) as JSON")
+    zp.add_argument(
+        "--jobs-dir",
+        type=Path,
+        default=None,
+        help="also load the zoo.json overlay from this jobs directory",
+    )
+    zp.add_argument(
+        "--pixel-size-nm",
+        type=float,
+        default=None,
+        metavar="NM",
+        help="also print the presets whose tuned pixel-pitch range covers this value",
+    )
+    zp = zsub.add_parser("show", help="print one preset (config overlay, prompt, fingerprint)")
+    zp.add_argument("preset")
+    zp.add_argument("--jobs-dir", type=Path, default=None)
 
     p = sub.add_parser("evaluate", help="run the paper's table experiments")
     _add_precision_flag(p)
@@ -141,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     mp.add_argument("manifest_b", type=Path)
 
     p = sub.add_parser("synthesize", help="generate a synthetic FIB-SEM volume")
-    p.add_argument("kind", choices=["crystalline", "amorphous"])
+    p.add_argument("kind", choices=["crystalline", "amorphous", "nanowire", "porous"])
     p.add_argument("out", type=Path)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--size", type=int, default=256)
@@ -239,9 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jsub = p.add_subparsers(dest="jobs_command", required=True)
     jp = jsub.add_parser("submit", help="queue a job (a co-located server or watcher runs it)")
-    jp.add_argument("kind", choices=["segment_volume", "evaluate", "synthesize"])
-    jp.add_argument("--path", type=Path, default=None, help="volume file (segment_volume)")
+    jp.add_argument("kind", choices=["segment_volume", "evaluate", "synthesize", "zoo_segment"])
+    jp.add_argument(
+        "--path", type=Path, default=None, help="volume file (segment_volume / zoo_segment)"
+    )
     jp.add_argument("--prompt", default=None, help="text prompt (segment_volume)")
+    jp.add_argument("--preset", default=None, help="zoo preset name (zoo_segment)")
+    jp.add_argument(
+        "--mode",
+        choices=["best", "ensemble"],
+        default="best",
+        help="zoo_segment execution mode",
+    )
     jp.add_argument("--params", default=None, help="JSON params dict (evaluate/synthesize)")
     jp.add_argument("--priority", type=int, default=0, help="higher runs first")
     jp.add_argument("--workers", type=int, default=1, help="decode workers (segment_volume)")
@@ -326,7 +415,20 @@ def _start_observability(args, command: str) -> None:
         start_trace(f"repro.{command}")
 
 
-def _write_observability(args, command: str, *, config=None, profiler=None) -> None:
+def _print_repro_error(exc) -> int:
+    """Render a :class:`~repro.errors.ReproError` as structured JSON on stderr."""
+    doc = {"ok": False, "type": type(exc).__name__, "error": str(exc)}
+    for attr in ("known", "skipped", "reason", "evicted_reason"):
+        value = getattr(exc, attr, None)
+        if value:
+            doc[attr] = [list(v) if isinstance(v, tuple) else v for v in value] if isinstance(
+                value, tuple
+            ) else value
+    print(json.dumps(doc, indent=2), file=sys.stderr)
+    return 1
+
+
+def _write_observability(args, command: str, *, config=None, profiler=None, extra=None) -> None:
     """Flush the CLI trace / manifest artifacts requested via flags.
 
     ``--trace-out`` writes the Chrome-trace file and, unless overridden,
@@ -347,7 +449,9 @@ def _write_observability(args, command: str, *, config=None, profiler=None) -> N
         if manifest_out is None:
             manifest_out = trace_out.parent / "run.json"
     if manifest_out is not None:
-        manifest = build_manifest(command, config=config, profiler=profiler, argv=sys.argv[1:])
+        manifest = build_manifest(
+            command, config=config, profiler=profiler, argv=sys.argv[1:], extra=extra
+        )
         write_manifest(manifest_out, manifest)
         print(f"manifest -> {manifest_out}")
 
@@ -435,7 +539,13 @@ def _cmd_segment_stream(args) -> int:
         f"{result.volume_fraction():.3f}{degraded_note}"
     )
     print(f"mask shards -> {ckpt_dir}")
-    _write_observability(args, "segment", config=pipeline.config, profiler=pipeline.profiler)
+    from .zoo.batch import in_plane_pixel_size_nm
+
+    pixel_size_nm = in_plane_pixel_size_nm(result.io_stats.get("meta"))
+    extra = {"pixel_size_nm": pixel_size_nm} if pixel_size_nm is not None else None
+    _write_observability(
+        args, "segment", config=pipeline.config, profiler=pipeline.profiler, extra=extra
+    )
     if args.profile:
         print()
         print(pipeline.profiler.format_table())
@@ -459,11 +569,66 @@ def _cmd_io(args) -> int:
     return 2
 
 
+def _cmd_batch_dir(args) -> int:
+    """``batch <dir> --task PRESET``: fan a folder out as durable zoo jobs."""
+    from .errors import ReproError
+    from .jobs import JobService
+    from .zoo import run_batch, submit_batch
+
+    if args.task is None:
+        print(
+            "directory batches need --task PRESET (see `repro zoo list`)",
+            file=sys.stderr,
+        )
+        return 2
+    jobs_dir = args.jobs_dir or args.path / ".repro-jobs"
+    ensemble = None
+    if args.mode == "ensemble" and args.ensemble_size is not None:
+        ensemble = {"size": args.ensemble_size}
+    svc = JobService(jobs_dir, lease_ttl_s=args.job_lease_ttl)
+    try:
+        if args.submit_only:
+            manifest = submit_batch(
+                svc,
+                args.path,
+                args.task,
+                mode=args.mode,
+                stream=args.stream,
+                on_corrupt=args.on_corrupt,
+                memory_budget_mb=args.memory_budget_mb,
+                ensemble=ensemble,
+                priority=args.priority,
+            )
+            print(json.dumps(manifest, indent=2))
+            return 0
+        report = run_batch(
+            svc,
+            args.path,
+            args.task,
+            mode=args.mode,
+            stream=args.stream,
+            on_corrupt=args.on_corrupt,
+            memory_budget_mb=args.memory_budget_mb,
+            ensemble=ensemble,
+            priority=args.priority,
+            timeout_s=args.timeout,
+        )
+    except ReproError as exc:
+        return _print_repro_error(exc)
+    print(json.dumps(report, indent=2))
+    return 0 if report["ok"] else 1
+
+
 def _cmd_batch(args) -> int:
     from .core.batch import BatchConfig, segment_volume_batch
     from .io.formats import load_image_file
     from .io.volume_io import save_volume_bundle
 
+    if args.path.is_dir():
+        return _cmd_batch_dir(args)
+    if args.prompt is None:
+        print("file batches need a text PROMPT argument", file=sys.stderr)
+        return 2
     arr = load_image_file(args.path)
     if arr.ndim != 3:
         print("batch requires a volume (3-D) input", file=sys.stderr)
@@ -497,6 +662,26 @@ def _cmd_batch(args) -> int:
         f"volume fraction {masks.mean():.3f}; masks -> {out}"
     )
     return 0
+
+
+def _cmd_zoo(args) -> int:
+    from .errors import ReproError
+    from .zoo import load_registry
+
+    try:
+        registry = load_registry(args.jobs_dir)
+        if args.zoo_command == "list":
+            doc = registry.describe()
+            if args.pixel_size_nm is not None:
+                doc["suggested"] = list(registry.suggest(args.pixel_size_nm))
+            print(json.dumps(doc, indent=2))
+            return 0
+        if args.zoo_command == "show":
+            print(json.dumps(registry.get(args.preset).describe(), indent=2))
+            return 0
+    except ReproError as exc:
+        return _print_repro_error(exc)
+    return 2
 
 
 def _cmd_evaluate(args) -> int:
@@ -654,38 +839,58 @@ def _cmd_cluster(args) -> int:
 def _cmd_jobs(args) -> int:
     from .jobs import JobService
 
+    from .errors import ReproError
+
     svc = JobService(args.jobs_dir)
     cmd = args.jobs_command
     if cmd == "submit":
-        if args.kind == "segment_volume":
-            if args.path is None or args.prompt is None:
-                print("segment_volume jobs need --path and --prompt", file=sys.stderr)
-                return 2
-            if args.stream:
-                job = svc.submit_segment_volume_path(
+        try:
+            if args.kind == "segment_volume":
+                if args.path is None or args.prompt is None:
+                    print("segment_volume jobs need --path and --prompt", file=sys.stderr)
+                    return 2
+                if args.stream:
+                    job = svc.submit_segment_volume_path(
+                        args.path,
+                        args.prompt,
+                        temporal=not args.no_temporal,
+                        temporal_mode=args.temporal_mode,
+                        on_corrupt=args.on_corrupt,
+                        memory_budget_mb=args.memory_budget_mb,
+                        priority=args.priority,
+                    )
+                else:
+                    from .io.formats import load_image_file
+
+                    arr = load_image_file(args.path)
+                    job = svc.submit_segment_volume(
+                        arr,
+                        args.prompt,
+                        temporal=not args.no_temporal,
+                        temporal_mode=args.temporal_mode,
+                        n_workers=args.workers,
+                        priority=args.priority,
+                    )
+            elif args.kind == "zoo_segment":
+                if args.path is None or args.preset is None:
+                    print("zoo_segment jobs need --path and --preset", file=sys.stderr)
+                    return 2
+                job, created = svc.submit_zoo_segment(
                     args.path,
-                    args.prompt,
-                    temporal=not args.no_temporal,
-                    temporal_mode=args.temporal_mode,
+                    args.preset,
+                    mode=args.mode,
+                    stream=args.stream,
                     on_corrupt=args.on_corrupt,
                     memory_budget_mb=args.memory_budget_mb,
                     priority=args.priority,
                 )
+                if not created:
+                    print(f"reusing live job for this (volume, preset, mode): {job.job_id}")
             else:
-                from .io.formats import load_image_file
-
-                arr = load_image_file(args.path)
-                job = svc.submit_segment_volume(
-                    arr,
-                    args.prompt,
-                    temporal=not args.no_temporal,
-                    temporal_mode=args.temporal_mode,
-                    n_workers=args.workers,
-                    priority=args.priority,
-                )
-        else:
-            params = json.loads(args.params) if args.params else {}
-            job = svc.submit(args.kind, params, priority=args.priority)
+                params = json.loads(args.params) if args.params else {}
+                job = svc.submit(args.kind, params, priority=args.priority)
+        except ReproError as exc:
+            return _print_repro_error(exc)
         print(f"submitted {job.job_id} ({job.kind}, priority {job.priority})")
         if args.run:
             n = svc.runner.run_until_idle()
@@ -748,6 +953,7 @@ def _cmd_readiness(args) -> int:
 _COMMANDS = {
     "segment": _cmd_segment,
     "batch": _cmd_batch,
+    "zoo": _cmd_zoo,
     "evaluate": _cmd_evaluate,
     "metrics": _cmd_metrics,
     "synthesize": _cmd_synthesize,

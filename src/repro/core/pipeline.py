@@ -49,7 +49,13 @@ from .propagation import PropagationConfig, PropagationEngine, resume_propagatio
 from .results import SliceResult, StreamResult, VolumeResult
 from .temporal import RefinementReport, TemporalConfig, refine_box_sequences
 
-__all__ = ["ZenesisConfig", "ZenesisPipeline"]
+__all__ = ["REFERENCE_PIXEL_NM", "ZenesisConfig", "ZenesisPipeline"]
+
+# Physical pixel pitch (nm) the default adaptation sigmas were tuned at.
+# When a volume carries calibrated pixel-size metadata, spatial kernels are
+# rescaled relative to this reference so a feature of fixed physical size
+# sees the same effective smoothing regardless of magnification.
+REFERENCE_PIXEL_NM = 5.0
 
 
 @dataclass(frozen=True)
@@ -104,12 +110,35 @@ class ZenesisConfig:
     # with both thresholds multiplied by grounding_relax per attempt.
     grounding_retries: int = 2
     grounding_relax: float = 0.7
+    # Registry provenance: zoo presets stamp "zoo:<name>@<fingerprint>" here
+    # so cache / checkpoint / job key spaces for a preset-built config never
+    # collide with a hand-rolled config of identical knob values.  A regular
+    # field, so it enters config_fingerprint automatically.
+    variant: str = ""
+    # Calibrated in-plane pixel pitch (nm) from volume metadata; None means
+    # uncalibrated (spatial kernels stay at their tuned defaults).  Folded
+    # into the adaptation fingerprint — different pitches adapt differently.
+    pixel_size_nm: float | None = None
 
     def __post_init__(self):
         if self.temporal_mode not in ("meanbox", "propagate"):
             raise PipelineError(
                 f"temporal_mode must be 'meanbox' or 'propagate', got {self.temporal_mode!r}"
             )
+        if self.pixel_size_nm is not None and not self.pixel_size_nm > 0:
+            raise PipelineError(f"pixel_size_nm must be > 0, got {self.pixel_size_nm!r}")
+
+    def spatial_scale(self) -> float:
+        """Kernel scale factor for this config's physical pixel size.
+
+        Sigmas tuned at :data:`REFERENCE_PIXEL_NM` are multiplied by this
+        factor: finer pixels (smaller pitch) need wider kernels in pixel
+        units to cover the same physical extent.  Clamped to [0.25, 4.0] so
+        wild metadata cannot push kernels to degenerate sizes.
+        """
+        if self.pixel_size_nm is None:
+            return 1.0
+        return float(np.clip(REFERENCE_PIXEL_NM / self.pixel_size_nm, 0.25, 4.0))
 
 
 class ZenesisPipeline:
@@ -145,8 +174,10 @@ class ZenesisPipeline:
                 "unsharp_sigma": cfg.unsharp_sigma,
                 "clahe_tiles": cfg.clahe_tiles,
                 "clahe_clip": cfg.clahe_clip,
+                "pixel_size_nm": cfg.pixel_size_nm,
             }
         )
+        self._spatial_scale = cfg.spatial_scale()
 
     # -- adaptation -----------------------------------------------------------
 
@@ -169,17 +200,20 @@ class ZenesisPipeline:
             span.set(cache="miss")
             with self.profiler.stage("adapt.normalize"):
                 base = robust_normalize(raw)
+            scale = self._spatial_scale
             with self.profiler.stage("adapt.denoise"):
                 den = denoise_bilateral(
-                    base, sigma_spatial=cfg.denoise_sigma_spatial, sigma_range=cfg.denoise_sigma_range
+                    base,
+                    sigma_spatial=cfg.denoise_sigma_spatial * scale,
+                    sigma_range=cfg.denoise_sigma_range,
                 )
             if cfg.flatfield:
                 with self.profiler.stage("adapt.flatfield"):
-                    den = flatfield_correct(den, sigma=cfg.flatfield_sigma)
+                    den = flatfield_correct(den, sigma=cfg.flatfield_sigma * scale)
             with self.profiler.stage("adapt.detector_branch"):
                 det_img = clahe(den, tiles=cfg.clahe_tiles, clip_limit=cfg.clahe_clip)
             with self.profiler.stage("adapt.segmenter_branch"):
-                seg_img = unsharp_mask(den, amount=cfg.unsharp_amount, sigma=cfg.unsharp_sigma)
+                seg_img = unsharp_mask(den, amount=cfg.unsharp_amount, sigma=cfg.unsharp_sigma * scale)
             self.cache.put("pipeline.adapt", key, (det_img, seg_img))
             return det_img, seg_img
 

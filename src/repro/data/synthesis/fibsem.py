@@ -39,7 +39,7 @@ from .shapes import raster_band_below, raster_blob, raster_needle, smooth_noise_
 
 __all__ = ["FibsemConfig", "FibsemSample", "synthesize_fibsem_volume", "CATALYST_KINDS"]
 
-CATALYST_KINDS = ("crystalline", "amorphous")
+CATALYST_KINDS = ("crystalline", "amorphous", "nanowire", "porous")
 
 
 @dataclass(frozen=True)
@@ -71,6 +71,23 @@ class FibsemConfig:
     blob_value: float = 0.80
     blob_value_jitter: float = 0.04
     blob_z_span: tuple[int, int] = (3, 8)
+
+    # Nanowire mesh: long, thin, bright wires (high aspect ratio) — the
+    # zoo's "nanowire_mesh" synthetic domain.
+    nanowire_count: int = 70
+    nanowire_length_px: tuple[float, float] = (40.0, 90.0)
+    nanowire_width_px: tuple[float, float] = (2.0, 3.6)
+    nanowire_value: float = 0.74
+    nanowire_value_jitter: float = 0.05
+    nanowire_z_span: tuple[int, int] = (4, 9)
+
+    # Porous film: dark rounded voids in the ionomer — the zoo's
+    # "porous_film" synthetic domain (the segmentation target is the pores).
+    pore_count: int = 140
+    pore_radius_px: tuple[float, float] = (4.0, 9.0)
+    pore_value: float = 0.13
+    pore_value_jitter: float = 0.03
+    pore_z_span: tuple[int, int] = (2, 6)
 
     # Slow lateral illumination drift (detector/beam alignment): defeats
     # global multi-class thresholds while leaving local structure intact —
@@ -148,29 +165,44 @@ def _quantize(img: np.ndarray, bit_depth: int, scale: float, offset: float) -> n
     return np.round(coded * 4294967295.0).astype(np.uint32)
 
 
+# Kinds rendered as oriented rods (the rest render as rounded blobs).
+ELONGATED_KINDS = frozenset({"crystalline", "nanowire"})
+
+
+def _kind_params(cfg: FibsemConfig) -> tuple[int, tuple[float, float], tuple[float, float] | None, float, float, tuple[int, int]]:
+    """(count, size_range, width_range|None, value, jitter, z_span) per kind."""
+    if cfg.catalyst == "crystalline":
+        return (cfg.needle_count, cfg.needle_length_px, cfg.needle_width_px,
+                cfg.needle_value, cfg.needle_value_jitter, cfg.needle_z_span)
+    if cfg.catalyst == "nanowire":
+        return (cfg.nanowire_count, cfg.nanowire_length_px, cfg.nanowire_width_px,
+                cfg.nanowire_value, cfg.nanowire_value_jitter, cfg.nanowire_z_span)
+    if cfg.catalyst == "porous":
+        return (cfg.pore_count, cfg.pore_radius_px, None,
+                cfg.pore_value, cfg.pore_value_jitter, cfg.pore_z_span)
+    return (cfg.blob_count, cfg.blob_radius_px, None,
+            cfg.blob_value, cfg.blob_value_jitter, cfg.blob_z_span)
+
+
 def _sample_particles(cfg: FibsemConfig, rng: np.random.Generator, interface_base: float) -> list[_Particle]:
     h, w = cfg.shape
-    crystalline = cfg.catalyst == "crystalline"
-    base_count = cfg.needle_count if crystalline else cfg.blob_count
+    base_count, size_range, width_range, base_value, jitter, z_span = _kind_params(cfg)
     # Counts are calibrated for the reference scene (256² × 10 slices); scale
     # with scene volume so smaller test scenes keep the same phase fractions.
     scale = (h * w * cfg.n_slices) / (256 * 256 * 10)
     count = max(1, int(round(base_count * scale)))
-    lo_z, hi_z = cfg.needle_z_span if crystalline else cfg.blob_z_span
+    lo_z, hi_z = z_span
     particles: list[_Particle] = []
     # Particle centres live in the film: below the interface with a margin so
     # cross-sections rarely poke into the background (clipped anyway).
     y_lo = interface_base + 0.08 * h
     y_hi = h - 0.05 * h
     for i in range(count):
-        if crystalline:
-            size = rng.uniform(*cfg.needle_length_px)
-            width = rng.uniform(*cfg.needle_width_px)
-            value = cfg.needle_value + rng.uniform(-cfg.needle_value_jitter, cfg.needle_value_jitter)
-        else:
-            size = rng.uniform(*cfg.blob_radius_px)
-            width = 0.0
-            value = cfg.blob_value + rng.uniform(-cfg.blob_value_jitter, cfg.blob_value_jitter)
+        # Draw order (size[, width], value) is part of the determinism
+        # contract: existing kinds must stay byte-identical across releases.
+        size = rng.uniform(*size_range)
+        width = rng.uniform(*width_range) if width_range is not None else 0.0
+        value = base_value + rng.uniform(-jitter, jitter)
         particles.append(
             _Particle(
                 kind=cfg.catalyst,
@@ -201,7 +233,7 @@ def _raster_particle(p: _Particle, z: int, shape: tuple[int, int], out: np.ndarr
         return
     cy = p.y + p.drift_y * dz
     cx = p.x + p.drift_x * dz
-    if p.kind == "crystalline":
+    if p.kind in ELONGATED_KINDS:
         raster_needle(shape, (cy, cx), p.size * max(shrink, 0.55), max(p.width * shrink, 1.2), p.angle, out=out)
     else:
         raster_blob(shape, (cy, cx), max(p.size * shrink, 1.5), np.random.default_rng(p.seed), out=out)

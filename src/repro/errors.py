@@ -154,6 +154,41 @@ class JobCancelledError(JobError):
     """
 
 
+class ZooError(ReproError, RuntimeError):
+    """The model-zoo registry or batch orchestrator was misused or misread.
+
+    Covers malformed ``zoo.json`` overlays, invalid preset definitions, and
+    batch-level orchestration failures that are not attributable to a single
+    job (those surface as :class:`JobError` on the job record instead).
+    """
+
+
+class UnknownPresetError(ZooError):
+    """A preset name does not resolve to any registry entry.
+
+    ``known`` carries the sorted names the registry does hold so CLI and
+    platform callers can render an actionable structured error instead of a
+    ``KeyError`` traceback.
+    """
+
+    def __init__(self, message: str, *, known: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.known = tuple(known)
+
+
+class EmptyBatchError(ZooError):
+    """A batch submission found zero recognizable volumes in the directory.
+
+    ``skipped`` lists ``(name, reason)`` pairs for entries that were present
+    but rejected by the sniffers, so the error distinguishes "empty folder"
+    from "folder full of unreadable files".
+    """
+
+    def __init__(self, message: str, *, skipped: tuple[tuple[str, str], ...] = ()) -> None:
+        super().__init__(message)
+        self.skipped = tuple(skipped)
+
+
 class UnknownSessionError(SessionError):
     """A session id does not resolve to a live session.
 

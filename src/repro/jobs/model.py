@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 #: Payload kinds the runner knows how to execute.
-JOB_KINDS = ("segment_volume", "evaluate", "synthesize")
+JOB_KINDS = ("segment_volume", "evaluate", "synthesize", "zoo_segment")
 
 QUEUED = "queued"
 LEASED = "leased"

@@ -203,6 +203,7 @@ class JobRunner:
             "segment_volume": self._run_segment_volume,
             "evaluate": self._run_evaluate,
             "synthesize": self._run_synthesize,
+            "zoo_segment": self._run_zoo_segment,
         }
 
     # -- lifecycle ------------------------------------------------------------
@@ -378,28 +379,48 @@ class JobRunner:
     # -- payloads -------------------------------------------------------------
 
     def _run_segment_volume(
-        self, job: JobRecord, worker_id: str, guard: JobGuard, tracer: Tracer
+        self,
+        job: JobRecord,
+        worker_id: str,
+        guard: JobGuard,
+        tracer: Tracer,
+        *,
+        voxels: np.ndarray | None = None,
+        config: ZenesisConfig | None = None,
+        prompt: str | None = None,
     ) -> dict:
-        """Checkpointed, pool-decoded Mode B; resume is bit-identical."""
+        """Checkpointed, pool-decoded Mode B; resume is bit-identical.
+
+        ``voxels``/``config``/``prompt`` let the zoo handler reuse this
+        payload with a preset-built config and a lazily decoded volume; when
+        omitted, everything comes from the job params (the plain
+        ``segment_volume`` contract, unchanged).
+        """
         params = job.params
-        if not job.input_path:
-            raise JobError("segment_volume job has no input_path volume snapshot")
-        if params.get("stream"):
-            return self._run_segment_volume_stream(job, worker_id, guard, tracer)
-        try:
-            voxels = np.load(job.input_path, allow_pickle=False)
-        except (OSError, ValueError) as exc:
-            raise JobError(f"cannot read job input {job.input_path}: {exc}") from exc
+        if voxels is None:
+            if not job.input_path:
+                raise JobError("segment_volume job has no input_path volume snapshot")
+            if params.get("stream"):
+                return self._run_segment_volume_stream(job, worker_id, guard, tracer)
+            try:
+                voxels = np.load(job.input_path, allow_pickle=False)
+            except (OSError, ValueError) as exc:
+                raise JobError(f"cannot read job input {job.input_path}: {exc}") from exc
         if voxels.ndim != 3:
             raise JobError(f"job input must be a 3-D volume, got shape {voxels.shape}")
-        prompt = str(params.get("prompt", ""))
+        prompt = str(params.get("prompt", "")) if prompt is None else str(prompt)
         temporal = bool(params.get("temporal", True))
-        temporal_mode = str(params.get("temporal_mode", "meanbox"))
+        if config is not None:
+            temporal_mode = config.temporal_mode
+        else:
+            temporal_mode = str(params.get("temporal_mode", "meanbox"))
         if temporal_mode == "propagate":
-            return self._run_segment_volume_propagate(job, worker_id, guard, tracer, voxels, prompt)
+            return self._run_segment_volume_propagate(
+                job, worker_id, guard, tracer, voxels, prompt, config=config
+            )
         n_decode_workers = max(1, int(params.get("n_workers", 1)))
         round_size = max(1, int(params.get("round_slices", 1)))
-        config = ZenesisConfig()
+        config = config if config is not None else ZenesisConfig()
         pipeline = _memo_pipeline(config)
         n = voxels.shape[0]
         plan = get_fault_plan()
@@ -514,7 +535,14 @@ class JobRunner:
         }
 
     def _run_segment_volume_stream(
-        self, job: JobRecord, worker_id: str, guard: JobGuard, tracer: Tracer
+        self,
+        job: JobRecord,
+        worker_id: str,
+        guard: JobGuard,
+        tracer: Tracer,
+        *,
+        config: ZenesisConfig | None = None,
+        prompt: str | None = None,
     ) -> dict:
         """Streamed Mode B: the voxels are never fully resident.
 
@@ -532,16 +560,19 @@ class JobRunner:
         from ..io.lazy import open_lazy_volume
 
         params = job.params
-        prompt = str(params.get("prompt", ""))
+        prompt = str(params.get("prompt", "")) if prompt is None else str(prompt)
         temporal = bool(params.get("temporal", True))
-        temporal_mode = str(params.get("temporal_mode", "meanbox"))
+        if config is not None:
+            temporal_mode = config.temporal_mode
+        else:
+            temporal_mode = str(params.get("temporal_mode", "meanbox"))
+            config = ZenesisConfig(temporal_mode=temporal_mode)
         policy = IngestPolicy(
             on_corrupt=str(params.get("on_corrupt", "fail")),
             memory_budget_bytes=max(
                 1, int(float(params.get("memory_budget_mb", 64.0)) * 1024 * 1024)
             ),
         )
-        config = ZenesisConfig(temporal_mode=temporal_mode)
         pipeline = _memo_pipeline(config)
         plan = get_fault_plan()
 
@@ -595,6 +626,8 @@ class JobRunner:
         tracer: Tracer,
         voxels: np.ndarray,
         prompt: str,
+        *,
+        config: ZenesisConfig | None = None,
     ) -> dict:
         """Memory-conditioned Mode B job: keyframe grounding + propagation.
 
@@ -608,7 +641,8 @@ class JobRunner:
         """
         from ..core.propagation import STATE_NAME, PropagationEngine, resume_propagation
 
-        config = ZenesisConfig(temporal_mode="propagate")
+        if config is None:
+            config = ZenesisConfig(temporal_mode="propagate")
         pipeline = _memo_pipeline(config)
         n = voxels.shape[0]
         plan = get_fault_plan()
@@ -658,6 +692,106 @@ class JobRunner:
             "refinement": {"mode": "propagation", **engine.state.stats()},
             "temporal_mode": "propagate",
             "resumed_slices": int(start_z),
+            "masks_path": str(out_path),
+            "masks_key": array_content_key(masks),
+        }
+
+    def _load_lazy_voxels(self, path: str) -> np.ndarray:
+        """Materialize a snapshotted volume (tiff / npy / slice dir) eagerly."""
+        from ..errors import FormatError
+        from ..io.lazy import open_lazy_volume
+
+        try:
+            with open_lazy_volume(path) as vol:
+                return np.stack([vol.read_tile(z) for z in range(vol.n_tiles)])
+        except FormatError as exc:
+            raise JobError(f"cannot read job input {path}: {exc}") from exc
+
+    def _run_zoo_segment(
+        self, job: JobRecord, worker_id: str, guard: JobGuard, tracer: Tracer
+    ) -> dict:
+        """One zoo job: a preset-built config in BEST or ENSEMBLE mode.
+
+        BEST reuses the plain segment-volume payloads (eager pool decode or
+        the streaming engine) with the preset's config and prompt; ENSEMBLE
+        runs the member grid with per-member checkpoint sub-directories, so
+        every mode inherits the bit-identical SIGKILL-resume story.
+        """
+        from ..zoo.ensemble import EnsembleConfig, segment_volume_ensemble
+        from ..zoo.registry import load_registry
+
+        params = job.params
+        if not job.input_path:
+            raise JobError("zoo_segment job has no input_path volume snapshot")
+        registry = load_registry(self.store.root)
+        preset = registry.get(str(params.get("preset", "")))
+        submitted_fp = str(params.get("preset_fingerprint", ""))
+        if submitted_fp and preset.fingerprint() != submitted_fp:
+            raise JobError(
+                f"preset {preset.name!r} changed since submit "
+                f"(fingerprint {submitted_fp} -> {preset.fingerprint()}); resubmit the batch"
+            )
+        mode = str(params.get("mode", "best"))
+        pixel_size_nm = params.get("pixel_size_nm")
+        pixel_size_nm = float(pixel_size_nm) if pixel_size_nm is not None else None
+        zoo_fields = {
+            "preset": preset.name,
+            "preset_fingerprint": preset.fingerprint(),
+            "registry_fingerprint": registry.fingerprint(),
+            "mode": mode,
+            "content_key": params.get("content_key"),
+            "pixel_size_nm": pixel_size_nm,
+        }
+
+        if mode == "best":
+            config = preset.build_config(pixel_size_nm=pixel_size_nm)
+            if params.get("stream"):
+                result = self._run_segment_volume_stream(
+                    job, worker_id, guard, tracer, config=config, prompt=preset.prompt
+                )
+            else:
+                voxels = self._load_lazy_voxels(job.input_path)
+                result = self._run_segment_volume(
+                    job, worker_id, guard, tracer,
+                    voxels=voxels, config=config, prompt=preset.prompt,
+                )
+            result.update(zoo_fields)
+            return result
+
+        if mode != "ensemble":
+            raise JobError(f"zoo mode must be 'best' or 'ensemble', got {mode!r}")
+        ensemble = EnsembleConfig.from_params(params.get("ensemble"))
+        voxels = self._load_lazy_voxels(job.input_path)
+        plan = get_fault_plan()
+
+        def on_member(done: int, total: int) -> None:
+            plan.crash_if("job_crash", member=done - 1)
+            self._progress(job, worker_id, done, total, phase="ensemble")
+
+        self._progress(job, worker_id, 0, ensemble.size, phase="ensemble")
+        span = tracer.begin("job.ensemble", preset=preset.name, size=ensemble.size)
+        try:
+            res = segment_volume_ensemble(
+                voxels,
+                preset,
+                ensemble=ensemble,
+                pixel_size_nm=pixel_size_nm,
+                checkpoint_dir=job.checkpoint_dir,
+                resume=True,
+                on_member=on_member,
+            )
+        finally:
+            tracer.finish(span)
+        out_path = self.store.result_path(job.job_id)
+        np.savez_compressed(out_path, masks=res.fused_masks)
+        masks = res.fused_masks
+        return {
+            **zoo_fields,
+            "n_slices": int(masks.shape[0]),
+            "volume_fraction": float(masks.mean()),
+            "per_slice_coverage": [float(m.mean()) for m in masks],
+            "ensemble": res.to_record(),
+            "fallback": res.fallback,
             "masks_path": str(out_path),
             "masks_key": array_content_key(masks),
         }

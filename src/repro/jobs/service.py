@@ -203,6 +203,119 @@ class JobService:
             input_path=str(snap),
         )
 
+    def submit_zoo_segment(
+        self,
+        path: Path | str,
+        preset: str,
+        *,
+        mode: str = "best",
+        stream: bool = False,
+        on_corrupt: str = "fail",
+        memory_budget_mb: float = 64.0,
+        ensemble: dict | None = None,
+        content_key: str | None = None,
+        pixel_size_nm: float | None = None,
+        deadline_s: float | None = None,
+        priority: int = 0,
+        max_attempts: int | None = None,
+        session_id: str | None = None,
+    ) -> tuple[JobRecord, bool]:
+        """Queue one zoo job for a volume; idempotent by content key.
+
+        Returns ``(record, created)``.  Identity is the hash of (volume
+        content key, preset fingerprint, mode, ensemble params, stream flag,
+        pixel size): resubmitting the same volume under the same registry
+        state reuses any existing non-failed job instead of duplicating it —
+        what makes crash-and-rerun batch orchestration safe.  Failed or
+        cancelled jobs do *not* block a fresh attempt.
+        """
+        import hashlib
+        import json
+
+        from ..io.integrity import sidecar_path
+        from ..io.lazy import open_lazy_volume
+        from ..zoo.registry import load_registry
+
+        src = Path(path)
+        if not src.exists():
+            raise JobError(f"no such volume source: {os.fspath(src)!r}")
+        if mode not in ("best", "ensemble"):
+            raise JobError(f"zoo mode must be 'best' or 'ensemble', got {mode!r}")
+        if on_corrupt not in ("fail", "skip", "degrade"):
+            raise JobError(f"unknown on_corrupt policy {on_corrupt!r}")
+        if mode == "ensemble" and stream:
+            raise JobError(
+                "ensemble mode needs per-slice detections for semantic verification "
+                "and cannot run over the streaming path; drop --stream or use mode 'best'"
+            )
+        registry = load_registry(self.store.root)
+        task = registry.get(preset)  # raises UnknownPresetError
+        if content_key is None:
+            with open_lazy_volume(src) as vol:
+                content_key = vol.content_key()
+        else:
+            with open_lazy_volume(src):
+                pass
+        zoo_key = hashlib.sha1(
+            json.dumps(
+                {
+                    "content_key": content_key,
+                    "preset": task.fingerprint(),
+                    "mode": mode,
+                    "ensemble": ensemble or {},
+                    "stream": bool(stream),
+                    "pixel_size_nm": pixel_size_nm,
+                },
+                sort_keys=True,
+            ).encode()
+        ).hexdigest()[:16]
+        self.store.refresh()
+        for rec in self.store.list_jobs():
+            if (
+                rec.kind == "zoo_segment"
+                and rec.params.get("zoo_key") == zoo_key
+                and rec.state not in ("failed", "cancelled")
+            ):
+                return rec, False
+        stem = f"vol-{os.urandom(6).hex()}"
+        if src.is_dir():
+            snap = self.store.input_path(stem, suffix="")
+            shutil.copytree(src, snap)
+        else:
+            snap = self.store.input_path(stem, suffix=src.suffix)
+            shutil.copyfile(src, snap)
+            side = sidecar_path(src)
+            if side.is_file():
+                shutil.copyfile(side, sidecar_path(snap))
+        params = {
+            "preset": task.name,
+            "preset_fingerprint": task.fingerprint(),
+            "registry_fingerprint": registry.fingerprint(),
+            "prompt": task.prompt,
+            "mode": mode,
+            "zoo_key": zoo_key,
+            "content_key": content_key,
+            "source_name": src.name,
+            "stream": bool(stream),
+            "on_corrupt": str(on_corrupt),
+            "memory_budget_mb": float(memory_budget_mb),
+        }
+        if pixel_size_nm is not None:
+            params["pixel_size_nm"] = float(pixel_size_nm)
+        if ensemble:
+            params["ensemble"] = dict(ensemble)
+        if deadline_s is not None:
+            params["deadline_s"] = float(deadline_s)
+        rec = self.submit(
+            "zoo_segment",
+            params,
+            priority=priority,
+            max_attempts=max_attempts,
+            session_id=session_id,
+            input_path=str(snap),
+        )
+        return rec, True
+
     # -- client verbs ----------------------------------------------------------
 
     def status(self, job_id: str) -> dict:

@@ -100,6 +100,8 @@ class ApiHandler:
             "segment_multi": self._segment_multi,
             "propagate_volume": self._propagate_volume,
             "calibrate_concept": self._calibrate_concept,
+            "zoo_list": self._zoo_list,
+            "zoo_show": self._zoo_show,
             "job_submit": self._job_submit,
             "job_status": self._job_status,
             "job_result": self._job_result,
@@ -331,12 +333,70 @@ class ApiHandler:
         session.history.append({"action": "job_submit", "job_id": job.job_id, "kind": job.kind})
         return {"accepted": True, "job_id": job.job_id, "job": job.public_view(), "redirected": redirected}
 
+    def _zoo_registry(self):
+        """The preset registry, with the jobs dir's ``zoo.json`` overlay when
+        the server has one."""
+        from ..zoo import load_registry
+
+        jobs_dir = self.jobs.store.root if self.jobs is not None else None
+        return load_registry(jobs_dir)
+
+    def _zoo_list(self, request: dict) -> dict:
+        registry = self._zoo_registry()
+        doc = registry.describe()
+        px = request.get("pixel_size_nm")
+        if px is not None:
+            doc["suggested"] = list(registry.suggest(float(px)))
+        return {"zoo": doc}
+
+    def _zoo_show(self, request: dict) -> dict:
+        # registry.get raises UnknownPresetError -> structured ok:false.
+        return {"preset": self._zoo_registry().get(str(request["preset"])).describe()}
+
+    def _submit_zoo_job(self, request: dict) -> dict:
+        """``job_submit`` with ``kind: zoo_segment`` — preset-driven, durable,
+        idempotent per (volume content, preset, mode)."""
+        jobs = self._require_jobs()
+        path = request.get("path")
+        session_id = request.get("session_id")
+        session = self._session(request) if session_id is not None else None
+        if path is None and session is not None and session.lazy_volume is not None:
+            path = session.lazy_volume.source_path
+        if path is None:
+            raise JobError("zoo_segment jobs need 'path' (or a session with a streamed volume)")
+        ensemble = request.get("ensemble")
+        job, created = jobs.submit_zoo_segment(
+            str(path),
+            str(request["preset"]),
+            mode=str(request.get("mode", "best")),
+            stream=bool(request.get("stream", False)),
+            on_corrupt=str(request.get("on_corrupt", "fail")),
+            memory_budget_mb=float(request.get("memory_budget_mb", 64.0)),
+            ensemble=dict(ensemble) if ensemble else None,
+            deadline_s=request.get("job_deadline_s"),
+            priority=int(request.get("priority", 0)),
+            session_id=str(session_id) if session_id is not None else None,
+        )
+        if session is not None:
+            session.job_ids.append(job.job_id)
+            session.history.append(
+                {"action": "job_submit", "job_id": job.job_id, "kind": job.kind}
+            )
+        return {
+            "accepted": True,
+            "job_id": job.job_id,
+            "job": job.public_view(),
+            "created": created,
+        }
+
     def _job_submit(self, request: dict) -> dict:
         """Explicit submit of any job kind; ``accepted: true`` maps to 202."""
         jobs = self._require_jobs()
         kind = str(request.get("kind", "segment_volume"))
         if kind == "segment_volume":
             return self._submit_volume_job(self._session(request), request, redirected=False)
+        if kind == "zoo_segment":
+            return self._submit_zoo_job(request)
         session_id = request.get("session_id")
         job = jobs.submit(
             kind,

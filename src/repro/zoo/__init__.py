@@ -1,0 +1,47 @@
+"""Model zoo: named task presets, batch orchestration, ensemble fusion.
+
+Three pillars (see DESIGN.md "Model zoo & ensemble fusion"):
+
+* :mod:`repro.zoo.registry` — named, fingerprinted task presets
+  (builtins + ``zoo.json`` overlay), discoverable via ``repro zoo``.
+* :mod:`repro.zoo.batch` — ``repro batch <dir>``: fan a folder of volumes
+  out as durable jobs with a content-addressed manifest + aggregate report.
+* :mod:`repro.zoo.ensemble` — ENSEMBLE mode: a deterministic variant grid
+  fused by IoU-weighted voting with semantic-verification rejection.
+"""
+
+from .batch import (
+    collect_report,
+    discover_volumes,
+    in_plane_pixel_size_nm,
+    run_batch,
+    submit_batch,
+)
+from .ensemble import (
+    EnsembleConfig,
+    EnsembleResult,
+    ensemble_variants,
+    fuse_masks,
+    member_weights,
+    segment_volume_ensemble,
+)
+from .registry import ZOO_FILE_NAME, TaskPreset, ZooRegistry, builtin_presets, load_registry
+
+__all__ = [
+    "ZOO_FILE_NAME",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "TaskPreset",
+    "ZooRegistry",
+    "builtin_presets",
+    "collect_report",
+    "discover_volumes",
+    "ensemble_variants",
+    "fuse_masks",
+    "in_plane_pixel_size_nm",
+    "load_registry",
+    "member_weights",
+    "run_batch",
+    "segment_volume_ensemble",
+    "submit_batch",
+]

@@ -1,0 +1,331 @@
+"""Folder-scale batch orchestration: ``repro batch <dir>`` over the jobs tier.
+
+A batch is a set of durable ``zoo_segment`` jobs — one per recognizable
+volume in a directory — plus two JSON artifacts in the jobs dir:
+
+* ``batches/<id>.json``          — the manifest written at submit time
+  (per-file content keys and job ids, the preset/registry fingerprints, the
+  skipped-file list).
+* ``batches/<id>.report.json``   — the aggregate report written after the
+  drain (per-file terminal state and metrics, batch-level percentiles from
+  the observability registry).
+
+The batch id is content-addressed over (sorted volume content keys, preset
+fingerprint, mode, ensemble params), and submission is idempotent per file
+through :meth:`~repro.jobs.service.JobService.submit_zoo_segment` — killing
+the orchestrator mid-batch and re-running the same command re-attaches to
+the surviving jobs instead of duplicating them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from ..errors import EmptyBatchError, ReproError, ZooError
+from ..io.lazy import open_lazy_volume
+from ..observability.metrics import get_registry
+from .registry import ZooRegistry, load_registry
+
+__all__ = [
+    "collect_report",
+    "discover_volumes",
+    "in_plane_pixel_size_nm",
+    "run_batch",
+    "submit_batch",
+]
+
+#: Directory entries never treated as volume candidates: hidden files/dirs
+#: (the jobs dir itself, checksum sidecars) and JSON artifacts (zoo.json,
+#: batch manifests/reports someone pointed the orchestrator at).
+_SKIP_PREFIXES = (".",)
+_SKIP_SUFFIXES = (".json",)
+
+_COVERAGE_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0)
+
+
+def in_plane_pixel_size_nm(meta: dict | None) -> float | None:
+    """The calibrated in-plane pixel pitch from a lazy-volume metadata dict.
+
+    TIFF resolution tags yield a (y, x) pair; a 3-entry value is treated as
+    (z, y, x) voxel size.  Anisotropic in-plane pitches are averaged — the
+    adaptation scale is a single factor.
+    """
+    if not meta:
+        return None
+    value = meta.get("pixel_size_nm")
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        return float(value) if value > 0 else None
+    pitches = [float(v) for v in list(value)[-2:] if v and float(v) > 0]
+    if not pitches:
+        return None
+    return float(sum(pitches) / len(pitches))
+
+
+def discover_volumes(root: Path | str) -> tuple[list[dict], list[tuple[str, str]]]:
+    """Sniff every directory entry; returns (volumes, skipped).
+
+    Raises :class:`~repro.errors.EmptyBatchError` when nothing in the
+    directory opens as a volume — an empty batch is a user error (wrong
+    directory, all files corrupt), never a silently successful no-op.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ZooError(f"batch root must be a directory, got {root}")
+    volumes: list[dict] = []
+    skipped: list[tuple[str, str]] = []
+    for child in sorted(root.iterdir()):
+        name = child.name
+        if name.startswith(_SKIP_PREFIXES) or name.endswith(_SKIP_SUFFIXES):
+            continue
+        try:
+            with open_lazy_volume(child) as vol:
+                volumes.append(
+                    {
+                        "path": str(child),
+                        "name": name,
+                        "format": vol.meta.get("format", "unknown"),
+                        "n_slices": int(vol.n_tiles),
+                        "tile_shape": list(vol.tile_shape),
+                        "dtype": str(vol.dtype),
+                        "content_key": vol.content_key(),
+                        "pixel_size_nm": in_plane_pixel_size_nm(vol.meta),
+                    }
+                )
+        except ReproError as exc:
+            skipped.append((name, f"{type(exc).__name__}: {exc}"))
+    if not volumes:
+        raise EmptyBatchError(
+            f"no recognizable volumes in {root} "
+            f"({len(skipped)} entr{'y' if len(skipped) == 1 else 'ies'} skipped)",
+            skipped=tuple(skipped),
+        )
+    return volumes, skipped
+
+
+def _batch_id(volumes: list[dict], preset_fp: str, mode: str, ensemble: dict | None) -> str:
+    payload = json.dumps(
+        {
+            "content_keys": sorted(v["content_key"] for v in volumes),
+            "preset": preset_fp,
+            "mode": mode,
+            "ensemble": ensemble or {},
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+
+def _batches_dir(service) -> Path:
+    path = service.store.root / "batches"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _write_json(path: Path, doc: dict) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    tmp.replace(path)
+
+
+def submit_batch(
+    service,
+    root: Path | str,
+    preset_name: str,
+    *,
+    mode: str = "best",
+    stream: bool = False,
+    on_corrupt: str = "fail",
+    memory_budget_mb: float = 64.0,
+    ensemble: dict | None = None,
+    priority: int = 0,
+    session_id: str | None = None,
+    registry: ZooRegistry | None = None,
+) -> dict:
+    """Discover volumes under ``root`` and submit one zoo job per file.
+
+    Returns the batch manifest (also written to ``batches/<id>.json``).
+    Idempotent: already-submitted (content key, preset, mode) combinations
+    re-attach to their live jobs, counted in ``reused`` instead of ``new``.
+    """
+    registry = registry or load_registry(service.store.root)
+    preset = registry.get(preset_name)  # raises UnknownPresetError
+    volumes, skipped = discover_volumes(root)
+    batch_id = _batch_id(volumes, preset.fingerprint(), mode, ensemble)
+    files = []
+    new = reused = 0
+    for vol in volumes:
+        rec, created = service.submit_zoo_segment(
+            vol["path"],
+            preset.name,
+            mode=mode,
+            stream=stream,
+            on_corrupt=on_corrupt,
+            memory_budget_mb=memory_budget_mb,
+            ensemble=ensemble,
+            content_key=vol["content_key"],
+            pixel_size_nm=vol["pixel_size_nm"],
+            priority=priority,
+            session_id=session_id,
+        )
+        new += created
+        reused += not created
+        files.append({**vol, "job_id": rec.job_id, "reused": not created})
+    manifest = {
+        "schema": 1,
+        "batch_id": batch_id,
+        "root": str(Path(root)),
+        "preset": preset.name,
+        "preset_fingerprint": preset.fingerprint(),
+        "registry_fingerprint": registry.fingerprint(),
+        "mode": mode,
+        "stream": bool(stream),
+        "ensemble": dict(ensemble) if ensemble else None,
+        "files": files,
+        "skipped": [{"name": n, "reason": r} for n, r in skipped],
+        "jobs": {"new": new, "reused": reused, "total": len(files)},
+        "suggested_presets": {
+            v["name"]: list(registry.suggest(v["pixel_size_nm"]))
+            for v in volumes
+            if v["pixel_size_nm"] is not None
+        },
+    }
+    _write_json(_batches_dir(service) / f"{batch_id}.json", manifest)
+    return manifest
+
+
+def collect_report(service, manifest: dict) -> dict:
+    """Aggregate per-job outcomes into the batch report (and persist it)."""
+    registry = get_registry()
+    wall_hist = registry.histogram("repro_zoo_batch_file_seconds")
+    cov_hist = registry.histogram(
+        "repro_zoo_batch_file_coverage", boundaries=_COVERAGE_BUCKETS
+    )
+    service.store.refresh()
+    files = []
+    by_state: dict[str, int] = {}
+    degraded_files = 0
+    for entry in manifest["files"]:
+        rec = service.store.get(entry["job_id"])
+        state = rec.state
+        by_state[state] = by_state.get(state, 0) + 1
+        registry.counter("repro_zoo_batch_files_total", state=state).inc()
+        row = {
+            "name": entry["name"],
+            "job_id": rec.job_id,
+            "state": state,
+            "content_key": entry["content_key"],
+            "pixel_size_nm": entry["pixel_size_nm"],
+            "attempts": rec.attempt,
+        }
+        wall_s = max(0.0, rec.updated_at - rec.created_at)
+        row["wall_s"] = round(wall_s, 3)
+        wall_hist.observe(wall_s)
+        result = rec.result or {}
+        if result:
+            for key in ("volume_fraction", "masks_key", "masks_path", "masks_dir", "fallback"):
+                if key in result:
+                    row[key] = result[key]
+            if "volume_fraction" in result:
+                cov_hist.observe(float(result["volume_fraction"]))
+            degraded = result.get("degraded") or {}
+            if degraded:
+                row["degraded_slices"] = degraded
+                degraded_files += 1
+            if "ensemble" in result:
+                ens = result["ensemble"]
+                row["ensemble"] = {
+                    "fallback": ens.get("fallback"),
+                    "members": [
+                        {k: m.get(k) for k in ("member", "accepted", "rejected_reason", "coverage")}
+                        for m in ens.get("members", [])
+                    ],
+                }
+        if rec.error is not None:
+            row["error"] = dict(rec.error)
+        files.append(row)
+    report = {
+        "schema": 1,
+        "batch_id": manifest["batch_id"],
+        "preset": manifest["preset"],
+        "preset_fingerprint": manifest["preset_fingerprint"],
+        "registry_fingerprint": manifest["registry_fingerprint"],
+        "mode": manifest["mode"],
+        "files": files,
+        "by_state": by_state,
+        "skipped": manifest.get("skipped", []),
+        "degraded_files": degraded_files,
+        "percentiles": {
+            "file_wall_s": {
+                "p50": round(wall_hist.percentile(0.5), 3),
+                "p95": round(wall_hist.percentile(0.95), 3),
+                "p99": round(wall_hist.percentile(0.99), 3),
+            },
+            "file_coverage": {
+                "p50": round(cov_hist.percentile(0.5), 4),
+                "p95": round(cov_hist.percentile(0.95), 4),
+            },
+        },
+        "ok": by_state.get("succeeded", 0) == len(files),
+    }
+    _write_json(_batches_dir(service) / f"{manifest['batch_id']}.report.json", report)
+    return report
+
+
+def run_batch(
+    service,
+    root: Path | str,
+    preset_name: str,
+    *,
+    mode: str = "best",
+    stream: bool = False,
+    on_corrupt: str = "fail",
+    memory_budget_mb: float = 64.0,
+    ensemble: dict | None = None,
+    priority: int = 0,
+    registry: ZooRegistry | None = None,
+    timeout_s: float = 600.0,
+    poll_s: float = 0.2,
+) -> dict:
+    """Submit a batch and drain it on the calling thread; returns the report.
+
+    The drain loop alternates lease reclaim with inline execution until
+    every batch job is terminal — so a rerun after a SIGKILL first adopts
+    the dead process's expired leases (resuming their checkpoints) and only
+    then reports.  Raises :class:`ZooError` on timeout with the partial
+    state; the manifest and any completed work survive for the next run.
+    """
+    manifest = submit_batch(
+        service,
+        root,
+        preset_name,
+        mode=mode,
+        stream=stream,
+        on_corrupt=on_corrupt,
+        memory_budget_mb=memory_budget_mb,
+        ensemble=ensemble,
+        priority=priority,
+        registry=registry,
+    )
+    job_ids = [f["job_id"] for f in manifest["files"]]
+    deadline = time.monotonic() + timeout_s
+    while True:
+        service.scheduler.reclaim_expired()
+        service.runner.run_until_idle(worker_id=f"batch-{manifest['batch_id']}")
+        service.store.refresh()
+        states = {jid: service.store.get(jid).state for jid in job_ids}
+        if all(s in ("succeeded", "failed", "cancelled") for s in states.values()):
+            break
+        if time.monotonic() > deadline:
+            raise ZooError(
+                f"batch {manifest['batch_id']} timed out after {timeout_s}s; "
+                f"states: {sorted(states.values())}"
+            )
+        # Non-terminal jobs here are leased to a dead process; wait for the
+        # lease TTL to lapse so reclaim_expired can adopt them.
+        time.sleep(poll_s)
+    return collect_report(service, manifest)

@@ -1,0 +1,273 @@
+"""Named task presets: the model/config registry behind ``repro zoo``.
+
+A :class:`TaskPreset` bundles everything needed to run the pipeline on one
+material domain — the text prompt, a :class:`~repro.core.pipeline.ZenesisConfig`
+overlay, and an optional physical pixel-size hint used for preset suggestion
+when a volume carries calibrated metadata.
+
+Identity is content-addressed: each preset has a ``fingerprint()`` over its
+name, prompt, and config overlay, and :meth:`TaskPreset.build_config` stamps
+``variant="zoo:<name>@<fingerprint>"`` into the built config.  Because
+``variant`` is a fingerprinted field of ``ZenesisConfig``, every cache entry,
+checkpoint manifest, and durable job key derived from a preset-built config
+is segregated from hand-rolled configs and from other preset versions — edit
+a preset and its key space moves with it.
+
+The registry is user-extensible: a ``zoo.json`` file in the jobs directory
+(``{"presets": [{"name": ..., "prompt": ..., "config": {...}}, ...]}``)
+overlays the builtins, with user entries winning on name collisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+
+from ..core.pipeline import ZenesisConfig
+from ..errors import UnknownPresetError, ZooError
+
+__all__ = [
+    "ZOO_FILE_NAME",
+    "TaskPreset",
+    "ZooRegistry",
+    "builtin_presets",
+    "load_registry",
+]
+
+ZOO_FILE_NAME = "zoo.json"
+
+# ZenesisConfig fields a preset overlay may set.  ``variant`` is reserved
+# (stamped by build_config), ``pixel_size_nm`` comes from volume metadata,
+# and the nested dataclasses are out of scope for flat JSON overlays.
+_RESERVED_CONFIG_KEYS = frozenset({"variant", "pixel_size_nm", "temporal", "propagation"})
+_CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(ZenesisConfig)) - _RESERVED_CONFIG_KEYS
+
+
+@dataclass(frozen=True)
+class TaskPreset:
+    """One named task: prompt + config overlay + selection hints."""
+
+    name: str
+    description: str
+    prompt: str
+    # Synthetic domain used by demos/CI to generate a matching sample
+    # (a repro.data.synthesis CATALYST_KINDS member), if any.
+    sample_kind: str | None = None
+    # Flat ZenesisConfig field overrides (JSON-serializable values only).
+    config: dict = field(default_factory=dict)
+    # Inclusive (lo, hi) calibrated pixel-pitch range (nm) this preset was
+    # tuned for; None means "no opinion" (never suggested by pixel size).
+    pixel_size_nm_range: tuple[float, float] | None = None
+    tags: tuple[str, ...] = ()
+    source: str = "builtin"  # "builtin" or "zoo.json"
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").replace("-", "").isalnum():
+            raise ZooError(f"preset name must be a non-empty slug, got {self.name!r}")
+        if not self.prompt:
+            raise ZooError(f"preset {self.name!r} has an empty prompt")
+        unknown = set(self.config) - _CONFIG_FIELDS
+        if unknown:
+            raise ZooError(
+                f"preset {self.name!r} sets unknown/reserved config keys {sorted(unknown)}; "
+                f"allowed: {sorted(_CONFIG_FIELDS)}"
+            )
+        if self.pixel_size_nm_range is not None:
+            lo, hi = self.pixel_size_nm_range
+            if not (0 < lo <= hi):
+                raise ZooError(
+                    f"preset {self.name!r} pixel_size_nm_range must satisfy 0 < lo <= hi, "
+                    f"got {self.pixel_size_nm_range!r}"
+                )
+
+    def fingerprint(self) -> str:
+        """Stable short id over everything that changes this preset's output."""
+        payload = json.dumps(
+            {"name": self.name, "prompt": self.prompt, "config": self.config},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+    def matches_pixel_size(self, pixel_size_nm: float | None) -> bool:
+        if pixel_size_nm is None or self.pixel_size_nm_range is None:
+            return False
+        lo, hi = self.pixel_size_nm_range
+        return lo <= pixel_size_nm <= hi
+
+    def build_config(
+        self,
+        *,
+        pixel_size_nm: float | None = None,
+        member: str | None = None,
+        **overrides,
+    ) -> ZenesisConfig:
+        """Materialize the full ZenesisConfig for this preset.
+
+        ``member`` tags an ensemble variant (e.g. ``"m01"``) so each member's
+        cache/checkpoint identity is distinct; ``overrides`` are the member's
+        knob perturbations on top of the preset overlay.
+        """
+        kwargs = dict(self.config)
+        kwargs.update(overrides)
+        # JSON round-trips tuples as lists; ZenesisConfig expects tuples.
+        for key, value in kwargs.items():
+            if isinstance(value, list):
+                kwargs[key] = tuple(value)
+        variant = f"zoo:{self.name}@{self.fingerprint()}"
+        if member:
+            variant += f":{member}"
+        return ZenesisConfig(variant=variant, pixel_size_nm=pixel_size_nm, **kwargs)
+
+    def describe(self) -> dict:
+        """JSON-ready summary for ``repro zoo show`` and the platform API."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "prompt": self.prompt,
+            "sample_kind": self.sample_kind,
+            "config": dict(self.config),
+            "pixel_size_nm_range": list(self.pixel_size_nm_range)
+            if self.pixel_size_nm_range
+            else None,
+            "tags": list(self.tags),
+            "source": self.source,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class ZooRegistry:
+    """An ordered, name-keyed collection of task presets."""
+
+    def __init__(self, presets: list[TaskPreset]) -> None:
+        self._presets: dict[str, TaskPreset] = {}
+        for preset in presets:
+            self._presets[preset.name] = preset  # later entries override
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._presets))
+
+    def list(self) -> list[TaskPreset]:
+        return [self._presets[name] for name in self.names]
+
+    def get(self, name: str) -> TaskPreset:
+        preset = self._presets.get(name)
+        if preset is None:
+            raise UnknownPresetError(
+                f"unknown preset {name!r}; known presets: {', '.join(self.names)}",
+                known=self.names,
+            )
+        return preset
+
+    def fingerprint(self) -> str:
+        """Registry-wide id: changes when any preset is added/edited/removed."""
+        digest = hashlib.sha1()
+        for name in self.names:
+            digest.update(name.encode())
+            digest.update(self._presets[name].fingerprint().encode())
+        return digest.hexdigest()[:12]
+
+    def suggest(self, pixel_size_nm: float | None) -> tuple[str, ...]:
+        """Preset names whose tuned pixel-pitch range covers the given pitch."""
+        return tuple(p.name for p in self.list() if p.matches_pixel_size(pixel_size_nm))
+
+    def describe(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint(),
+            "presets": [p.describe() for p in self.list()],
+        }
+
+
+def builtin_presets() -> list[TaskPreset]:
+    """The shipped task presets, one per synthetic material domain."""
+    return [
+        TaskPreset(
+            name="crystalline_catalyst",
+            description="Needle-like crystalline catalysts in ionomer film (paper default).",
+            prompt="crystalline catalyst particles",
+            sample_kind="crystalline",
+            config={},
+            pixel_size_nm_range=(2.0, 12.0),
+            tags=("catalyst", "fibsem"),
+        ),
+        TaskPreset(
+            name="amorphous_catalyst",
+            description="Globular amorphous catalyst aggregates (strong contrast).",
+            prompt="amorphous catalyst aggregates",
+            sample_kind="amorphous",
+            config={"box_threshold": 0.32, "unsharp_amount": 2.4},
+            pixel_size_nm_range=(2.0, 12.0),
+            tags=("catalyst", "fibsem"),
+        ),
+        TaskPreset(
+            name="membrane",
+            description="Ionomer membrane film against the milled trench.",
+            prompt="membrane film",
+            sample_kind="crystalline",
+            config={"box_threshold": 0.30, "gate_dilation": 6},
+            pixel_size_nm_range=(2.0, 25.0),
+            tags=("membrane", "fibsem"),
+        ),
+        TaskPreset(
+            name="nanowire_mesh",
+            description="High-aspect bright nanowire mesh (synthetic domain).",
+            prompt="bright elongated needles",
+            sample_kind="nanowire",
+            config={"box_threshold": 0.33, "unsharp_amount": 2.2},
+            pixel_size_nm_range=(1.0, 8.0),
+            tags=("nanowire", "synthetic"),
+        ),
+        TaskPreset(
+            name="porous_film",
+            description="Dark rounded pores (voids) in a porous film (synthetic domain).",
+            prompt="dark pores",
+            sample_kind="porous",
+            config={"box_threshold": 0.30, "band_k": 1.8},
+            pixel_size_nm_range=(2.0, 15.0),
+            tags=("porous", "synthetic"),
+        ),
+    ]
+
+
+def _preset_from_json(entry: dict, *, source: str) -> TaskPreset:
+    if not isinstance(entry, dict):
+        raise ZooError(f"zoo.json preset entries must be objects, got {type(entry).__name__}")
+    allowed = {"name", "description", "prompt", "sample_kind", "config", "pixel_size_nm_range", "tags"}
+    unknown = set(entry) - allowed
+    if unknown:
+        raise ZooError(f"zoo.json preset has unknown keys {sorted(unknown)}; allowed: {sorted(allowed)}")
+    try:
+        return TaskPreset(
+            name=entry.get("name", ""),
+            description=entry.get("description", ""),
+            prompt=entry.get("prompt", ""),
+            sample_kind=entry.get("sample_kind"),
+            config=dict(entry.get("config", {})),
+            pixel_size_nm_range=tuple(entry["pixel_size_nm_range"])
+            if entry.get("pixel_size_nm_range")
+            else None,
+            tags=tuple(entry.get("tags", ())),
+            source=source,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ZooError(f"malformed zoo.json preset {entry.get('name')!r}: {exc}") from exc
+
+
+def load_registry(jobs_dir: str | Path | None = None) -> ZooRegistry:
+    """Builtins overlaid with the jobs dir's ``zoo.json`` (if present)."""
+    presets = builtin_presets()
+    if jobs_dir is not None:
+        zoo_path = Path(jobs_dir) / ZOO_FILE_NAME
+        if zoo_path.exists():
+            try:
+                doc = json.loads(zoo_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ZooError(f"unreadable {zoo_path}: {exc}") from exc
+            if not isinstance(doc, dict) or not isinstance(doc.get("presets", []), list):
+                raise ZooError(f'{zoo_path} must be an object with a "presets" list')
+            for entry in doc.get("presets", []):
+                presets.append(_preset_from_json(entry, source=ZOO_FILE_NAME))
+    return ZooRegistry(presets)

@@ -25,7 +25,7 @@ class TestConfig:
             FibsemConfig(shape=(16, 16))
 
     def test_kinds(self):
-        assert set(CATALYST_KINDS) == {"crystalline", "amorphous"}
+        assert set(CATALYST_KINDS) == {"crystalline", "amorphous", "nanowire", "porous"}
 
 
 class TestSynthesis:

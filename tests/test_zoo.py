@@ -1,0 +1,338 @@
+"""Model zoo: preset registry, adaptation pixel-size scaling, ensemble fusion.
+
+The ensemble's semantic-verification pass is tested against *stub* pipelines
+(monkeypatched ``_memo_pipeline``) producing controlled masks and relevance
+maps — the rejection logic is geometry over those arrays, so the test should
+not depend on what the real models do on any particular synthetic scene.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache import array_content_key, config_fingerprint
+from repro.core.pipeline import REFERENCE_PIXEL_NM, ZenesisConfig, ZenesisPipeline
+from repro.data import make_sample
+from repro.errors import PipelineError, UnknownPresetError, ZooError
+from repro.zoo import (
+    EnsembleConfig,
+    TaskPreset,
+    builtin_presets,
+    ensemble_variants,
+    fuse_masks,
+    load_registry,
+    member_weights,
+    segment_volume_ensemble,
+)
+import repro.zoo.ensemble as ensemble_mod
+
+
+# -- registry ------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_present_and_fingerprinted(self):
+        registry = load_registry()
+        assert {"crystalline_catalyst", "amorphous_catalyst", "membrane"} <= set(registry.names)
+        assert len(registry.names) >= 5  # >= 2 new synthetic domains
+        fps = {p.fingerprint() for p in registry.list()}
+        assert len(fps) == len(registry.names)  # all distinct
+        assert registry.fingerprint() == load_registry().fingerprint()  # stable
+
+    def test_unknown_preset_is_structured(self):
+        registry = load_registry()
+        with pytest.raises(UnknownPresetError) as exc_info:
+            registry.get("not_a_preset")
+        assert exc_info.value.known == registry.names
+        assert "not_a_preset" in str(exc_info.value)
+
+    def test_zoo_json_overlay_and_override(self, tmp_path):
+        (tmp_path / "zoo.json").write_text(
+            json.dumps(
+                {
+                    "presets": [
+                        {"name": "my_domain", "prompt": "bright particles"},
+                        {
+                            "name": "membrane",
+                            "prompt": "membrane film",
+                            "config": {"box_threshold": 0.28},
+                        },
+                    ]
+                }
+            )
+        )
+        registry = load_registry(tmp_path)
+        assert registry.get("my_domain").source == "zoo.json"
+        assert registry.get("membrane").config["box_threshold"] == 0.28  # user wins
+        # the overlay moves the registry fingerprint
+        assert registry.fingerprint() != load_registry().fingerprint()
+
+    def test_malformed_zoo_json_raises_zoo_error(self, tmp_path):
+        (tmp_path / "zoo.json").write_text("{not json")
+        with pytest.raises(ZooError):
+            load_registry(tmp_path)
+        (tmp_path / "zoo.json").write_text(json.dumps({"presets": [{"name": "x"}]}))
+        with pytest.raises(ZooError):  # empty prompt
+            load_registry(tmp_path)
+        (tmp_path / "zoo.json").write_text(
+            json.dumps({"presets": [{"name": "x", "prompt": "p", "config": {"nope": 1}}]})
+        )
+        with pytest.raises(ZooError):  # unknown config key
+            load_registry(tmp_path)
+
+    def test_build_config_segregates_key_spaces(self):
+        preset = load_registry().get("crystalline_catalyst")
+        cfg = preset.build_config()
+        assert cfg.variant == f"zoo:{preset.name}@{preset.fingerprint()}"
+        # preset-built, hand-rolled, and member configs all live in
+        # different fingerprint (cache/checkpoint/job-key) spaces
+        plain = ZenesisConfig()
+        member = preset.build_config(member="m01")
+        fps = {config_fingerprint(c) for c in (cfg, plain, member)}
+        assert len(fps) == 3
+
+    def test_suggest_by_pixel_size(self):
+        registry = load_registry()
+        assert "crystalline_catalyst" in registry.suggest(5.0)
+        assert registry.suggest(None) == ()
+        # 20 nm is outside the catalyst range but inside membrane's
+        assert "crystalline_catalyst" not in registry.suggest(20.0)
+        assert "membrane" in registry.suggest(20.0)
+
+    def test_reserved_config_keys_rejected(self):
+        with pytest.raises(ZooError):
+            TaskPreset(name="x", description="", prompt="p", config={"variant": "y"})
+        with pytest.raises(ZooError):
+            TaskPreset(name="x", description="", prompt="p", config={"pixel_size_nm": 3.0})
+
+
+# -- pixel-size metadata plumbing ---------------------------------------------
+
+
+class TestPixelSizeScaling:
+    def test_reference_pitch_is_identity(self):
+        img = make_sample("crystalline", shape=(48, 48), n_slices=1).volume.voxels[0]
+        base_det, base_seg = ZenesisPipeline(ZenesisConfig()).adapt(img)
+        ref_det, ref_seg = ZenesisPipeline(
+            ZenesisConfig(pixel_size_nm=REFERENCE_PIXEL_NM)
+        ).adapt(img)
+        np.testing.assert_array_equal(base_det, ref_det)
+        np.testing.assert_array_equal(base_seg, ref_seg)
+
+    def test_coarser_pitch_changes_adaptation_and_fingerprint(self):
+        img = make_sample("crystalline", shape=(48, 48), n_slices=1).volume.voxels[0]
+        base = ZenesisPipeline(ZenesisConfig())
+        coarse = ZenesisPipeline(ZenesisConfig(pixel_size_nm=12.0))
+        assert config_fingerprint(base.config) != config_fingerprint(coarse.config)
+        _, base_seg = base.adapt(img)
+        _, coarse_seg = coarse.adapt(img)
+        assert not np.array_equal(base_seg, coarse_seg)
+
+    def test_scale_is_clamped(self):
+        assert ZenesisConfig(pixel_size_nm=1e-6).spatial_scale() == 4.0
+        assert ZenesisConfig(pixel_size_nm=1e6).spatial_scale() == 0.25
+        assert ZenesisConfig().spatial_scale() == 1.0
+
+    def test_invalid_pitch_rejected(self):
+        with pytest.raises(PipelineError):
+            ZenesisConfig(pixel_size_nm=0.0)
+        with pytest.raises(PipelineError):
+            ZenesisConfig(pixel_size_nm=-3.0)
+
+
+# -- ensemble variants & fusion ------------------------------------------------
+
+
+class TestEnsembleVariants:
+    def test_grid_is_deterministic_and_distinct(self):
+        preset = load_registry().get("crystalline_catalyst")
+        a = ensemble_variants(preset, EnsembleConfig(size=4))
+        b = ensemble_variants(preset, EnsembleConfig(size=4))
+        assert [config_fingerprint(c) for c in a] == [config_fingerprint(c) for c in b]
+        assert len({config_fingerprint(c) for c in a}) == 4
+        assert all(c.temporal_mode == "meanbox" for c in a)
+        # thresholds sweep downward, band_ks cycle
+        assert a[0].box_threshold >= a[-1].box_threshold
+        assert {c.band_k for c in a} == {2.0, 1.4}
+
+    def test_size_one_keeps_base_thresholds(self):
+        preset = load_registry().get("crystalline_catalyst")
+        (only,) = ensemble_variants(preset, EnsembleConfig(size=1))
+        assert only.box_threshold == preset.build_config().box_threshold
+
+    def test_config_validation(self):
+        with pytest.raises(ZooError):
+            EnsembleConfig(size=0)
+        with pytest.raises(ZooError):
+            EnsembleConfig(threshold_spread=1.0)
+        with pytest.raises(ZooError):
+            EnsembleConfig(vote_floor=0.0)
+        with pytest.raises(ZooError):
+            EnsembleConfig.from_params({"sizes": 3})
+
+
+class TestFusion:
+    def test_weighted_vote_with_deterministic_ties(self):
+        a = np.zeros((2, 4, 4), dtype=bool)
+        a[:, :2] = True
+        b = a.copy()
+        c = np.zeros_like(a)
+        c[:, 2:] = True  # the outlier
+        weights = member_weights([a, b, c])
+        assert weights[0] == weights[1] > weights[2]
+        fused = fuse_masks([a, b, c], weights)
+        np.testing.assert_array_equal(fused, a)  # consensus wins
+        # exact-floor vote lands IN (epsilon in the comparison): two equal
+        # members, one voting — exactly half the total weight
+        half = fuse_masks([a, c], [1.0, 1.0], vote_floor=0.5)
+        np.testing.assert_array_equal(half, a | c)
+
+    def test_fusion_is_bit_deterministic(self):
+        rng = np.random.default_rng(7)
+        masks = [rng.random((3, 16, 16)) > 0.5 for _ in range(5)]
+        weights = member_weights(masks)
+        first = fuse_masks(masks, weights)
+        for _ in range(3):
+            np.testing.assert_array_equal(fuse_masks(masks, weights), first)
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ZooError):
+            fuse_masks([], [])
+        with pytest.raises(ZooError):
+            fuse_masks([np.zeros((1, 2, 2), dtype=bool)], [1.0, 2.0])
+        zero = fuse_masks([np.ones((1, 2, 2), dtype=bool)], [0.0])
+        assert not zero.any()  # all-zero weights fuse to empty, not NaN
+
+
+# -- semantic verification (stubbed pipelines) --------------------------------
+
+
+class _StubDetection:
+    def __init__(self, relevance):
+        self.relevance = relevance
+
+
+class _StubSliceResult:
+    def __init__(self, mask, relevance):
+        self.mask = mask
+        self.detection = _StubDetection(relevance)
+
+
+class _StubVolumeResult:
+    def __init__(self, masks, relevance):
+        self.masks = masks
+        self.slice_results = [_StubSliceResult(m, relevance[i]) for i, m in enumerate(masks)]
+
+
+class _StubPipeline:
+    """Returns canned masks/relevance keyed by the member's box_threshold."""
+
+    def __init__(self, config, outputs):
+        self.config = config
+        self._outputs = outputs
+
+    def segment_volume(self, voxels, prompt, **kwargs):
+        masks, relevance = self._outputs[round(self.config.box_threshold, 6)]
+        return _StubVolumeResult(masks, relevance)
+
+
+class TestSemanticVerification:
+    def _run(self, monkeypatch, outputs, size=2):
+        preset = load_registry().get("crystalline_catalyst")
+        monkeypatch.setattr(
+            ensemble_mod, "_memo_pipeline", lambda config: _StubPipeline(config, outputs)
+        )
+        voxels = np.zeros((2, 8, 8), dtype=np.float64)
+        return segment_volume_ensemble(
+            voxels, preset, ensemble=EnsembleConfig(size=size, band_ks=(2.0,))
+        )
+
+    def test_background_latch_member_rejected(self, monkeypatch):
+        preset = load_registry().get("crystalline_catalyst")
+        base = preset.build_config().box_threshold
+        thresholds = [round(c.box_threshold, 6) for c in ensemble_variants(
+            preset, EnsembleConfig(size=2, band_ks=(2.0,))
+        )]
+        good = np.zeros((2, 8, 8), dtype=bool)
+        good[:, :4] = True
+        bad = np.zeros((2, 8, 8), dtype=bool)
+        bad[:, 6:] = True  # segments where nothing is relevant
+        relevance = np.zeros((2, 8, 8))
+        relevance[:, :4] = 1.0  # grounding only lights up the left half
+        outputs = {
+            thresholds[0]: (good, relevance),
+            thresholds[1]: (bad, relevance),
+        }
+        res = self._run(monkeypatch, outputs)
+        assert res.members[0]["accepted"] and res.members[0]["relevance_overlap"] == 1.0
+        assert res.members[1]["rejected_reason"] == "background_latch"
+        assert not res.fallback
+        np.testing.assert_array_equal(res.fused_masks, good)  # only the good member votes
+        assert base > 0  # sanity: preset carries a real threshold
+
+    def test_empty_member_rejected_and_all_rejected_falls_back(self, monkeypatch):
+        preset = load_registry().get("crystalline_catalyst")
+        thresholds = [round(c.box_threshold, 6) for c in ensemble_variants(
+            preset, EnsembleConfig(size=2, band_ks=(2.0,))
+        )]
+        empty = np.zeros((2, 8, 8), dtype=bool)
+        relevance = np.zeros((2, 8, 8))
+        outputs = {t: (empty, relevance) for t in thresholds}
+        res = self._run(monkeypatch, outputs)
+        assert all(m["rejected_reason"] == "empty" for m in res.members)
+        assert res.fallback and not res.fused_masks.any()
+        assert res.weights == ()
+
+
+# -- end-to-end ensemble determinism ------------------------------------------
+
+
+class TestEnsembleEndToEnd:
+    def test_run_twice_bit_identical(self):
+        preset = load_registry().get("crystalline_catalyst")
+        voxels = make_sample("crystalline", shape=(48, 48), n_slices=2).volume.voxels
+        ens = EnsembleConfig(size=2)
+        first = segment_volume_ensemble(voxels, preset, ensemble=ens)
+        second = segment_volume_ensemble(voxels, preset, ensemble=ens)
+        assert array_content_key(first.fused_masks) == array_content_key(second.fused_masks)
+        assert first.weights == second.weights
+        assert [m["masks_key"] for m in first.members] == [
+            m["masks_key"] for m in second.members
+        ]
+        assert not first.fallback
+
+    def test_checkpoint_resume_matches_cold_run(self, tmp_path):
+        preset = load_registry().get("crystalline_catalyst")
+        voxels = make_sample("crystalline", shape=(48, 48), n_slices=2).volume.voxels
+        ens = EnsembleConfig(size=2)
+        cold = segment_volume_ensemble(voxels, preset, ensemble=ens)
+        warm_dir = tmp_path / "ckpt"
+        segment_volume_ensemble(
+            voxels, preset, ensemble=ens, checkpoint_dir=warm_dir, resume=True
+        )
+        resumed = segment_volume_ensemble(
+            voxels, preset, ensemble=ens, checkpoint_dir=warm_dir, resume=True
+        )
+        assert array_content_key(resumed.fused_masks) == array_content_key(cold.fused_masks)
+
+
+# -- new synthetic domains -----------------------------------------------------
+
+
+class TestNewSyntheticKinds:
+    @pytest.mark.parametrize("kind", ["nanowire", "porous"])
+    def test_kind_generates_with_ground_truth(self, kind):
+        sample = make_sample(kind, shape=(48, 48), n_slices=2)
+        assert sample.volume.voxels.shape == (2, 48, 48)
+        frac = sample.catalyst_mask.mean()
+        assert 0.005 < frac < 0.6
+        # deterministic per seed
+        again = make_sample(kind, shape=(48, 48), n_slices=2)
+        np.testing.assert_array_equal(sample.volume.voxels, again.volume.voxels)
+
+    def test_existing_kinds_unchanged(self):
+        # the refactor that added kinds must not move the rng draw order
+        vol = make_sample("crystalline", shape=(48, 48), n_slices=2).volume.voxels
+        assert vol.shape == (2, 48, 48)
+        assert vol.dtype == np.uint16 and vol.mean() > 0
